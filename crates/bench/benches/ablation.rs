@@ -1,0 +1,142 @@
+//! Ablations of the design choices DESIGN.md calls out. Measured quantity
+//! is simulated transaction-phase cycles (1 cycle = 1 ns).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ede_isa::ArchConfig;
+use ede_sim::run_workload;
+use ede_workloads::{btree::BTree, update::Update, Workload};
+use std::time::Duration;
+
+fn run_cycles(
+    w: &dyn Workload,
+    cfg: &ede_sim::experiment::ExperimentConfig,
+    arch: ArchConfig,
+) -> u64 {
+    run_workload(w, &cfg.params, arch, &cfg.sim)
+        .expect("run completes")
+        .tx_cycles
+}
+
+/// Ablation 1 (§V-B): the enforcement point. The same EDE trace on IQ vs
+/// WB hardware isolates exactly the issue-queue-stall vs
+/// write-buffer-stall difference of Figure 8.
+fn enforcement_point(c: &mut Criterion) {
+    let cfg = ede_bench::bench_experiment();
+    let mut group = c.benchmark_group("ablation_enforcement");
+    group.sample_size(10);
+    for arch in [ArchConfig::IssueQueue, ArchConfig::WriteBuffer] {
+        group.bench_function(format!("btree/{}", arch.label()), |b| {
+            b.iter_custom(|iters| {
+                let mut t = 0;
+                for _ in 0..iters {
+                    t += run_cycles(&BTree, &cfg, arch);
+                }
+                Duration::from_nanos(t)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Ablation 2: persist-buffer write coalescing. Shrinking the NVM device
+/// line to one cache line removes cross-line merging; the fence-free
+/// configuration pays the most.
+fn coalescing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_coalescing");
+    group.sample_size(10);
+    for (label, line) in [("256B-line", 256u64), ("64B-line", 64)] {
+        let mut cfg = ede_bench::bench_experiment();
+        cfg.sim.mem.nvm_line_bytes = line;
+        group.bench_function(format!("update-U/{label}"), |b| {
+            b.iter_custom(|iters| {
+                let mut t = 0;
+                for _ in 0..iters {
+                    t += run_cycles(&Update, &cfg, ArchConfig::Unsafe);
+                }
+                Duration::from_nanos(t)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Ablation 3: NVM media write parallelism. Bounds the fence-free
+/// configurations' throughput (the Figure 10 back-pressure).
+fn media_writers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_media_writers");
+    group.sample_size(10);
+    for writers in [2usize, 6, 16] {
+        let mut cfg = ede_bench::bench_experiment();
+        cfg.sim.mem.media_writers = writers;
+        group.bench_function(format!("update-U/{writers}w"), |b| {
+            b.iter_custom(|iters| {
+                let mut t = 0;
+                for _ in 0..iters {
+                    t += run_cycles(&Update, &cfg, ArchConfig::Unsafe);
+                }
+                Duration::from_nanos(t)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Ablation 4: write-buffer depth under WB enforcement — the structure
+/// that gives WB its lookahead past blocked consumers.
+fn write_buffer_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_wb_depth");
+    group.sample_size(10);
+    for entries in [4usize, 16, 64] {
+        let mut cfg = ede_bench::bench_experiment();
+        cfg.sim.cpu.wb_entries = entries;
+        group.bench_function(format!("btree-WB/{entries}e"), |b| {
+            b.iter_custom(|iters| {
+                let mut t = 0;
+                for _ in 0..iters {
+                    t += run_cycles(&BTree, &cfg, ArchConfig::WriteBuffer);
+                }
+                Duration::from_nanos(t)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Ablation 5: next-line prefetching. The kernels' log writes are
+/// sequential, so prefetching shifts some of the memory time EDE and the
+/// fences fight over.
+fn prefetcher(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_prefetch");
+    group.sample_size(10);
+    for depth in [0usize, 2] {
+        let mut cfg = ede_bench::bench_experiment();
+        cfg.sim.mem.prefetch_next_lines = depth;
+        group.bench_function(format!("update-B/{depth}lines"), |b| {
+            b.iter_custom(|iters| {
+                let mut t = 0;
+                for _ in 0..iters {
+                    t += run_cycles(&Update, &cfg, ArchConfig::Baseline);
+                }
+                Duration::from_nanos(t)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    // Simulated cycle counts are deterministic (zero variance), which
+    // the plotters backend cannot chart — plots stay off.
+    config = Criterion::default()
+        .without_plots()
+        // Deterministic simulated measurements need no long warmup.
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = enforcement_point,
+    coalescing,
+    media_writers,
+    write_buffer_depth,
+    prefetcher
+);
+criterion_main!(benches);

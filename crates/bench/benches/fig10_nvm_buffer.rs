@@ -1,0 +1,54 @@
+//! Figure 10 through Criterion: the measured quantity per `app/config` is
+//! the *mean persist-buffer occupancy* (pending NVM writes sampled at
+//! each media write), scaled ×1000 into nanoseconds so Criterion can
+//! report it. Higher = fuller buffer, as in the paper's Figure 10.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ede_isa::ArchConfig;
+use ede_sim::run_workload;
+use ede_workloads::standard_suite;
+use std::time::Duration;
+
+fn mean_occupancy(hist: &[u64]) -> f64 {
+    let total: u64 = hist.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let weighted: u64 = hist.iter().enumerate().map(|(n, &c)| n as u64 * c).sum();
+    weighted as f64 / total as f64
+}
+
+fn fig10(c: &mut Criterion) {
+    let cfg = ede_bench::bench_experiment();
+    let mut group = c.benchmark_group("fig10_nvm_buffer_occupancy_x1000");
+    group.sample_size(10);
+    for w in standard_suite() {
+        for arch in [ArchConfig::Baseline, ArchConfig::WriteBuffer, ArchConfig::Unsafe] {
+            group.bench_function(format!("{}/{}", w.name(), arch.label()), |b| {
+                b.iter_custom(|iters| {
+                    let mut total = 0f64;
+                    for _ in 0..iters {
+                        let r = run_workload(w.as_ref(), &cfg.params, arch, &cfg.sim)
+                            .expect("run completes");
+                        total += mean_occupancy(&r.nvm_occupancy);
+                    }
+                    Duration::from_nanos((total * 1000.0) as u64)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    // Simulated cycle counts are deterministic (zero variance), which
+    // the plotters backend cannot chart — plots stay off.
+    config = Criterion::default()
+        .without_plots()
+        // Deterministic simulated measurements need no long warmup.
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = fig10
+);
+criterion_main!(benches);

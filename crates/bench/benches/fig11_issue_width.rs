@@ -1,0 +1,44 @@
+//! Figure 11 through Criterion: the measured quantity per `app/config` is
+//! IPC ×1000 (reported as nanoseconds), reproducing the §VII-B IPC
+//! series B < SU < IQ < WB < U.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ede_isa::ArchConfig;
+use ede_sim::run_workload;
+use ede_workloads::standard_suite;
+use std::time::Duration;
+
+fn fig11(c: &mut Criterion) {
+    let cfg = ede_bench::bench_experiment();
+    let mut group = c.benchmark_group("fig11_ipc_x1000");
+    group.sample_size(10);
+    for w in standard_suite() {
+        for arch in ArchConfig::ALL {
+            group.bench_function(format!("{}/{}", w.name(), arch.label()), |b| {
+                b.iter_custom(|iters| {
+                    let mut total = 0f64;
+                    for _ in 0..iters {
+                        let r = run_workload(w.as_ref(), &cfg.params, arch, &cfg.sim)
+                            .expect("run completes");
+                        total += r.ipc();
+                    }
+                    Duration::from_nanos((total * 1000.0) as u64)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    // Simulated cycle counts are deterministic (zero variance), which
+    // the plotters backend cannot chart — plots stay off.
+    config = Criterion::default()
+        .without_plots()
+        // Deterministic simulated measurements need no long warmup.
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = fig11
+);
+criterion_main!(benches);

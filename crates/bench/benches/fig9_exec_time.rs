@@ -1,0 +1,45 @@
+//! Figure 9 through Criterion: each benchmark id is `app/config`, and the
+//! reported "time" is the *simulated* transaction-phase cycle count
+//! (1 cycle = 1 ns), so Criterion's comparison machinery renders the
+//! figure's relationships directly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ede_isa::ArchConfig;
+use ede_sim::run_workload;
+use ede_workloads::standard_suite;
+use std::time::Duration;
+
+fn fig9(c: &mut Criterion) {
+    let cfg = ede_bench::bench_experiment();
+    let mut group = c.benchmark_group("fig9_exec_time");
+    group.sample_size(10);
+    for w in standard_suite() {
+        for arch in ArchConfig::ALL {
+            group.bench_function(format!("{}/{}", w.name(), arch.label()), |b| {
+                b.iter_custom(|iters| {
+                    let mut total = 0u64;
+                    for _ in 0..iters {
+                        let r = run_workload(w.as_ref(), &cfg.params, arch, &cfg.sim)
+                            .expect("run completes");
+                        total += r.tx_cycles;
+                    }
+                    Duration::from_nanos(total)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    // Simulated cycle counts are deterministic (zero variance), which
+    // the plotters backend cannot chart — plots stay off.
+    config = Criterion::default()
+        .without_plots()
+        // Deterministic simulated measurements need no long warmup.
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = fig9
+);
+criterion_main!(benches);

@@ -1,0 +1,153 @@
+//! Wall-clock microbenchmarks of the simulator's own components: useful
+//! for keeping the simulator fast enough to run paper-scale experiments.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ede_core::{InFlightEde, SpeculativeEdm};
+use ede_isa::{Edk, EdkPair, Inst, InstId, Op, Reg, TraceBuilder};
+use ede_mem::{MemConfig, MemSystem, PersistBuffer, ReqKind};
+
+fn edm_decode(c: &mut Criterion) {
+    let k = Edk::new(1).expect("key");
+    let producer = Inst::with_edks(
+        Op::DcCvap {
+            base: Reg::x(0).expect("reg"),
+            addr: 0x40,
+        },
+        EdkPair::producer(k),
+    );
+    let consumer = Inst::with_edks(
+        Op::Str {
+            src: Reg::x(1).expect("reg"),
+            base: Reg::x(2).expect("reg"),
+            addr: 0x80,
+            value: 7,
+        },
+        EdkPair::consumer(k),
+    );
+    c.bench_function("edm_decode_pair", |b| {
+        let mut edm = SpeculativeEdm::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            let d1 = edm.decode(black_box(&producer), InstId(i));
+            let d2 = edm.decode(black_box(&consumer), InstId(i + 1));
+            edm.complete(InstId(i));
+            edm.complete(InstId(i + 1));
+            i += 2;
+            (d1, d2)
+        });
+    });
+}
+
+fn tracker_ops(c: &mut Criterion) {
+    let k = Edk::new(3).expect("key");
+    let producer = Inst::with_edks(
+        Op::DcCvap {
+            base: Reg::x(0).expect("reg"),
+            addr: 0,
+        },
+        EdkPair::producer(k),
+    );
+    c.bench_function("tracker_insert_query_complete", |b| {
+        let mut t = InFlightEde::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            t.insert(&producer, InstId(i));
+            let blocked = t.has_producer_before(k, InstId(i + 1));
+            t.complete(&producer, InstId(i));
+            i += 1;
+            blocked
+        });
+    });
+}
+
+fn persist_buffer_churn(c: &mut Criterion) {
+    c.bench_function("persist_buffer_insert_drain", |b| {
+        let mut buf = PersistBuffer::new(128, 6, 256);
+        let mut line = 0x1_0000_0000u64;
+        b.iter(|| {
+            let (_, started) = buf.try_insert(line, 0);
+            for _ in 0..started {
+                // Completion is driven immediately for the microbenchmark.
+            }
+            if buf.draining() {
+                buf.media_write_done();
+            }
+            line += 64;
+        });
+    });
+}
+
+fn mem_system_load(c: &mut Criterion) {
+    c.bench_function("mem_system_l1_hit_load", |b| {
+        let cfg = MemConfig::a72_hybrid();
+        let mut mem = MemSystem::new(cfg.clone());
+        let addr = cfg.dram_base + 0x40;
+        let mut now = 0u64;
+        // Warm the line.
+        mem.try_access(ReqKind::Load, addr, now);
+        for t in 1..1000 {
+            if !mem.tick(t).is_empty() {
+                now = t;
+                break;
+            }
+        }
+        b.iter(|| {
+            now += 1;
+            if mem.can_accept() {
+                mem.try_access(ReqKind::Load, addr, now);
+            }
+            mem.tick(now)
+        });
+    });
+}
+
+fn trace_emission(c: &mut Criterion) {
+    c.bench_function("trace_builder_store_cvap", |b| {
+        b.iter(|| {
+            let mut t = TraceBuilder::new();
+            for i in 0..64u64 {
+                t.store(0x1_0000_0000 + i * 64, i);
+                t.cvap(0x1_0000_0000 + i * 64);
+            }
+            t.finish()
+        });
+    });
+}
+
+fn simulator_throughput(c: &mut Criterion) {
+    // End-to-end: simulated instructions per wall second.
+    let mut group = c.benchmark_group("simulator_throughput");
+    group.sample_size(10);
+    group.bench_function("update_200ops_baseline", |b| {
+        let cfg = ede_bench::bench_experiment();
+        b.iter(|| {
+            ede_sim::run_workload(
+                &ede_workloads::update::Update,
+                &cfg.params,
+                ede_isa::ArchConfig::Baseline,
+                &cfg.sim,
+            )
+            .expect("run completes")
+            .retired
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    // Simulated cycle counts are deterministic (zero variance), which
+    // the plotters backend cannot chart — plots stay off.
+    config = Criterion::default()
+        .without_plots()
+        // Deterministic simulated measurements need no long warmup.
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = edm_decode,
+    tracker_ops,
+    persist_buffer_churn,
+    mem_system_load,
+    trace_emission,
+    simulator_throughput
+);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! §VIII extension experiment: the lock-free kernels (hazard pointers,
+//! circular buffers, seqlock) with their fences replaced by EDE.
+//!
+//! Usage: `EDE_OPS=500 cargo run --release -p ede-bench --bin fig12`
+
+use ede_isa::ArchConfig;
+use ede_sim::experiment::fig9_with;
+use ede_sim::geomean;
+use ede_workloads::lockfree::lockfree_suite;
+
+fn main() {
+    let mut cfg = ede_bench::experiment_from_env();
+    cfg.params.ops = cfg.params.ops.min(2000);
+    eprintln!("running §VIII kernels: {} rounds each…", cfg.params.ops);
+    let f = fig9_with(&cfg, &lockfree_suite()).expect("runs complete");
+
+    println!("§VIII lock-free kernels — execution time normalized to the fenced code");
+    println!("(B/SU = today's fences; IQ/WB = EDE; U = no ordering, lower bound)");
+    print!("  {:8}", "kernel");
+    for arch in ArchConfig::ALL {
+        print!(" {:>7}", arch.label());
+    }
+    println!();
+    for row in &f.rows {
+        print!("  {:8}", row.app);
+        for v in row.normalized {
+            print!(" {v:>7.3}");
+        }
+        println!();
+    }
+    print!("  {:8}", "geomean");
+    for v in f.geomean {
+        print!(" {v:>7.3}");
+    }
+    println!();
+    let ede_gain = (1.0 - geomean(&[f.geomean[2], f.geomean[3]])) * 100.0;
+    let bound = (1.0 - f.geomean[4]) * 100.0;
+    println!(
+        "  EDE removes ~{ede_gain:.0}% of the kernels' execution time; the fences\n\
+         cost {bound:.0}% in total (U bound). Ordering is verified per run by the\n\
+         execution-dependence validator in the test suite."
+    );
+}

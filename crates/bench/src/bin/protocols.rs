@@ -1,0 +1,75 @@
+//! Undo vs. redo logging under every architecture configuration: how
+//! much of EDE's benefit depends on the logging protocol.
+//!
+//! Usage: `EDE_OPS=500 cargo run --release -p ede-bench --bin protocols`
+
+use ede_isa::{ArchConfig, InstKind, Program};
+use ede_nvm::cow::{cow_update_kernel, CowChecker};
+use ede_nvm::redo::{recover_redo, redo_update_kernel};
+use ede_nvm::CrashChecker;
+use ede_sim::runner::run_program;
+use ede_sim::run_workload;
+use ede_workloads::update::Update;
+
+fn dsbs(p: &Program) -> usize {
+    p.iter()
+        .filter(|(_, i)| i.kind() == InstKind::FenceFull)
+        .count()
+}
+
+fn main() {
+    let cfg = ede_bench::experiment_from_env();
+    let ops = cfg.params.ops.min(2000);
+    let elems = cfg.params.array_elems;
+    eprintln!("running undo vs redo vs CoW on the update kernel: {ops} ops…");
+
+    println!(
+        "update kernel, {ops} ops — cycles / DSB count / crash-safe (✓ or ✗)\n"
+    );
+    println!(
+        "  {:4} {:>16} {:>16} {:>16}",
+        "cfg", "undo logging", "redo logging", "copy-on-write"
+    );
+    for arch in ArchConfig::ALL {
+        let mut params = cfg.params;
+        params.ops = ops;
+        let undo = run_workload(&Update, &params, arch, &cfg.sim).expect("undo run");
+        let undo_safe = CrashChecker::new(&undo.output)
+            .check_all_images(&undo.trace)
+            .is_ok();
+        let undo_dsbs = dsbs(&undo.output.program);
+
+        let redo_out = redo_update_kernel(arch, ops, params.ops_per_tx, elems, params.seed);
+        let redo_dsbs = dsbs(&redo_out.program);
+        let redo = run_program("redo-update", redo_out, arch, &cfg.sim).expect("redo run");
+        let redo_safe = CrashChecker::with_recovery(&redo.output, recover_redo)
+            .check_all_images(&redo.trace)
+            .is_ok();
+
+        // CoW pools reach 512 slots; keep the tree shallow.
+        let (cow_out, meta) = cow_update_kernel(arch, ops, params.ops_per_tx, 512, params.seed);
+        let cow_dsbs = dsbs(&cow_out.program);
+        let cow_checker_out = cow_out.clone();
+        let cow = run_program("cow-update", cow_out, arch, &cfg.sim).expect("cow run");
+        let cow_safe = CowChecker::new(&cow_checker_out, meta)
+            .check_all_images(&cow.trace)
+            .is_ok();
+
+        let cell = |cycles: u64, d: usize, safe: bool| {
+            format!("{cycles}/{d}/{}", if safe { "✓" } else { "✗" })
+        };
+        println!(
+            "  {:4} {:>16} {:>16} {:>16}",
+            arch.label(),
+            cell(undo.tx_cycles, undo_dsbs, undo_safe),
+            cell(redo.cycles, redo_dsbs, redo_safe),
+            cell(cow.cycles, cow_dsbs, cow_safe),
+        );
+    }
+    println!(
+        "\nundo pays one ordering point per write; redo and CoW batch them per\n\
+         transaction (at the cost of read indirection / table copies), so they\n\
+         narrow the fence gap EDE eliminates. EDE still removes what remains,\n\
+         and only the ordered configurations are crash-safe under any protocol."
+    );
+}

@@ -1,0 +1,22 @@
+//! Prints Tables I, II and III from the live configuration.
+//!
+//! Usage: `cargo run -p ede-bench --bin tables [-- table1|table2|table3]`
+
+use ede_sim::report;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_default();
+    let sim = ede_bench::experiment_from_env().sim;
+    match which.as_str() {
+        "table1" => print!("{}", report::table1(&sim)),
+        "table2" => print!("{}", report::table2()),
+        "table3" => print!("{}", report::table3()),
+        _ => {
+            print!("{}", report::table1(&sim));
+            println!();
+            print!("{}", report::table2());
+            println!();
+            print!("{}", report::table3());
+        }
+    }
+}

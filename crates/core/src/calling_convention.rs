@@ -1,0 +1,331 @@
+//! EDK calling conventions (§IX-B, Figure 13).
+//!
+//! Like registers, EDKs must be partitioned into *caller-saved* and
+//! *callee-saved* keys so separately compiled functions compose. The rules
+//! the paper gives:
+//!
+//! * **Caller-saved key `K`**: after a call returns, a `WAIT_KEY (K)` must
+//!   appear before the next instruction that consumes `K`.
+//! * **Callee-saved key `K`**: inside the callee, either (i) a
+//!   `WAIT_KEY (K)` is executed before the first producer of `K`, or
+//!   (ii) every producer of `K` is also a consumer of `K` (which chains it
+//!   behind the caller's producer).
+//!
+//! This module provides the key classification plus static checkers for
+//! both rules over traces with explicit call-site markers.
+
+use ede_isa::{Edk, InstId, Op, Program, NUM_EDKS};
+
+/// Classification of one EDK.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum KeyClass {
+    /// The callee may clobber the key; callers must `WAIT_KEY` after calls.
+    CallerSaved,
+    /// The callee must preserve ordering semantics for the key.
+    CalleeSaved,
+}
+
+/// A full caller-/callee-saved partition of the fifteen live keys.
+///
+/// # Example
+///
+/// ```
+/// use ede_core::calling_convention::{Convention, KeyClass};
+/// use ede_isa::Edk;
+///
+/// let conv = Convention::standard();
+/// assert_eq!(conv.class_of(Edk::new(1).unwrap()), KeyClass::CallerSaved);
+/// assert_eq!(conv.class_of(Edk::new(15).unwrap()), KeyClass::CalleeSaved);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Convention {
+    classes: [KeyClass; NUM_EDKS],
+}
+
+impl Convention {
+    /// The workspace's standard convention: keys 1–8 caller-saved,
+    /// keys 9–15 callee-saved (mirroring AArch64's roughly even register
+    /// split).
+    pub fn standard() -> Convention {
+        let mut classes = [KeyClass::CallerSaved; NUM_EDKS];
+        for c in classes.iter_mut().skip(9) {
+            *c = KeyClass::CalleeSaved;
+        }
+        Convention { classes }
+    }
+
+    /// Builds a custom convention from the set of callee-saved keys.
+    pub fn with_callee_saved(keys: &[Edk]) -> Convention {
+        let mut classes = [KeyClass::CallerSaved; NUM_EDKS];
+        for k in keys {
+            classes[k.index() as usize] = KeyClass::CalleeSaved;
+        }
+        Convention { classes }
+    }
+
+    /// The class of a key. The zero key is reported caller-saved; it
+    /// carries no dependence either way.
+    pub fn class_of(&self, key: Edk) -> KeyClass {
+        self.classes[key.index() as usize]
+    }
+}
+
+/// A violation of the calling-convention rules.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ConventionViolation {
+    /// A caller consumed caller-saved `key` after a call without an
+    /// intervening `WAIT_KEY (key)`.
+    MissingCallerWait {
+        /// The call site the consumer follows.
+        call: InstId,
+        /// The offending consumer.
+        consumer: InstId,
+        /// The caller-saved key involved.
+        key: Edk,
+    },
+    /// A callee produced callee-saved `key` without protecting the
+    /// caller's in-flight producer (no prior `WAIT_KEY (key)`, and the
+    /// producer does not also consume `key`).
+    UnprotectedCalleeProducer {
+        /// The offending producer inside the callee.
+        producer: InstId,
+        /// The callee-saved key involved.
+        key: Edk,
+    },
+}
+
+fn consumed_keys(inst: &ede_isa::Inst) -> Vec<Edk> {
+    let mut keys = Vec::new();
+    match inst.op {
+        Op::Join { use2 } => {
+            if !inst.edks.use_.is_zero() {
+                keys.push(inst.edks.use_);
+            }
+            if !use2.is_zero() {
+                keys.push(use2);
+            }
+        }
+        Op::WaitKey { .. } | Op::WaitAllKeys => {}
+        _ => {
+            if !inst.edks.use_.is_zero() {
+                keys.push(inst.edks.use_);
+            }
+        }
+    }
+    keys
+}
+
+/// Checks the **caller-side** rule over a trace: for each call site (given
+/// by trace position), every later consumer of a caller-saved key must be
+/// preceded (after the call) by a `WAIT_KEY` on that key. A producer
+/// redefinition of the key after the call also re-establishes it.
+///
+/// # Example
+///
+/// ```
+/// use ede_core::calling_convention::{check_caller, Convention};
+/// use ede_isa::{Edk, InstId, TraceBuilder};
+///
+/// let k = Edk::new(1).unwrap(); // caller-saved
+/// let mut b = TraceBuilder::new();
+/// b.cvap_producing(0x40, k);
+/// let call_site = b.nop();          // stands in for `bl foo`
+/// b.wait_key(k);                    // required by the convention
+/// b.store_consuming(0x80, 7, k);
+/// let p = b.finish();
+/// assert!(check_caller(&p, &[call_site], &Convention::standard()).is_empty());
+/// ```
+pub fn check_caller(
+    program: &Program,
+    call_sites: &[InstId],
+    conv: &Convention,
+) -> Vec<ConventionViolation> {
+    let mut violations = Vec::new();
+    for &call in call_sites {
+        // Keys re-established (waited on or redefined) since the call.
+        let mut reestablished = [false; NUM_EDKS];
+        for (id, inst) in program.iter() {
+            if id <= call {
+                continue;
+            }
+            // A WAIT_KEY re-establishes its key.
+            if let Op::WaitKey { key } = inst.op {
+                reestablished[key.index() as usize] = true;
+                continue;
+            }
+            for key in consumed_keys(inst) {
+                if conv.class_of(key) == KeyClass::CallerSaved
+                    && !reestablished[key.index() as usize]
+                {
+                    violations.push(ConventionViolation::MissingCallerWait {
+                        call,
+                        consumer: id,
+                        key,
+                    });
+                }
+            }
+            // A producer redefinition after the call also re-establishes.
+            let produced = match inst.op {
+                Op::WaitKey { key } => key,
+                _ => inst.edks.def,
+            };
+            if !produced.is_zero() {
+                reestablished[produced.index() as usize] = true;
+            }
+        }
+    }
+    violations
+}
+
+/// Checks the **callee-side** rule over a callee's trace: every producer
+/// of a callee-saved key must either follow a `WAIT_KEY` on that key or
+/// also consume the key.
+///
+/// # Example
+///
+/// ```
+/// use ede_core::calling_convention::{check_callee, Convention};
+/// use ede_isa::{Edk, EdkPair, TraceBuilder};
+///
+/// let y = Edk::new(9).unwrap(); // callee-saved
+/// let mut b = TraceBuilder::new();
+/// // Figure 13's line 10: `inst (Y, Y)` — producer that also consumes Y.
+/// let base = b.lea(0x40);
+/// b.cvap_to_edk(base, 0x40, EdkPair::new(y, y));
+/// b.release(base);
+/// assert!(check_callee(&b.finish(), &Convention::standard()).is_empty());
+/// ```
+pub fn check_callee(program: &Program, conv: &Convention) -> Vec<ConventionViolation> {
+    let mut violations = Vec::new();
+    let mut waited = [false; NUM_EDKS];
+    for (id, inst) in program.iter() {
+        if let Op::WaitKey { key } = inst.op {
+            waited[key.index() as usize] = true;
+            continue;
+        }
+        let produced = inst.edks.def;
+        if produced.is_zero() {
+            continue;
+        }
+        if conv.class_of(produced) == KeyClass::CalleeSaved
+            && !waited[produced.index() as usize]
+            && inst.edks.use_ != produced
+        {
+            violations.push(ConventionViolation::UnprotectedCalleeProducer {
+                producer: id,
+                key: produced,
+            });
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ede_isa::{EdkPair, TraceBuilder};
+
+    fn k(n: u8) -> Edk {
+        Edk::new(n).unwrap()
+    }
+
+    #[test]
+    fn standard_partition() {
+        let conv = Convention::standard();
+        for i in 1..=8 {
+            assert_eq!(conv.class_of(k(i)), KeyClass::CallerSaved);
+        }
+        for i in 9..=15 {
+            assert_eq!(conv.class_of(k(i)), KeyClass::CalleeSaved);
+        }
+    }
+
+    #[test]
+    fn caller_missing_wait_detected() {
+        let key = k(1);
+        let mut b = TraceBuilder::new();
+        b.cvap_producing(0x40, key);
+        let call = b.nop();
+        b.store_consuming(0x80, 7, key); // no WAIT_KEY first
+        let p = b.finish();
+        let v = check_caller(&p, &[call], &Convention::standard());
+        assert_eq!(v.len(), 1);
+        assert!(matches!(
+            v[0],
+            ConventionViolation::MissingCallerWait { key: kk, .. } if kk == key
+        ));
+    }
+
+    #[test]
+    fn caller_wait_fixes_it() {
+        let key = k(1);
+        let mut b = TraceBuilder::new();
+        b.cvap_producing(0x40, key);
+        let call = b.nop();
+        b.wait_key(key);
+        b.store_consuming(0x80, 7, key);
+        let p = b.finish();
+        assert!(check_caller(&p, &[call], &Convention::standard()).is_empty());
+    }
+
+    #[test]
+    fn caller_redefinition_also_reestablishes() {
+        let key = k(2);
+        let mut b = TraceBuilder::new();
+        let call = b.nop();
+        b.cvap_producing(0x40, key); // redefines key after the call
+        b.store_consuming(0x80, 7, key);
+        let p = b.finish();
+        assert!(check_caller(&p, &[call], &Convention::standard()).is_empty());
+    }
+
+    #[test]
+    fn callee_saved_consumption_is_fine_for_caller() {
+        // Figure 13 line 7: `inst (0, Y)` consumes the callee-saved key
+        // with no WAIT_KEY — legal because the callee preserved it.
+        let y = k(9);
+        let mut b = TraceBuilder::new();
+        b.cvap_producing(0x40, y);
+        let call = b.nop();
+        b.store_consuming(0x80, 7, y);
+        let p = b.finish();
+        assert!(check_caller(&p, &[call], &Convention::standard()).is_empty());
+    }
+
+    #[test]
+    fn callee_unprotected_producer_detected() {
+        let y = k(9);
+        let mut b = TraceBuilder::new();
+        b.cvap_producing(0x40, y); // (Y, 0) with no wait: clobbers caller
+        let p = b.finish();
+        let v = check_callee(&p, &Convention::standard());
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn callee_produce_and_consume_is_legal() {
+        let y = k(9);
+        let mut b = TraceBuilder::new();
+        let base = b.lea(0x40);
+        b.cvap_to_edk(base, 0x40, EdkPair::new(y, y)); // (Y, Y)
+        b.release(base);
+        assert!(check_callee(&b.finish(), &Convention::standard()).is_empty());
+    }
+
+    #[test]
+    fn callee_wait_then_produce_is_legal() {
+        let y = k(10);
+        let mut b = TraceBuilder::new();
+        b.wait_key(y);
+        b.cvap_producing(0x40, y);
+        assert!(check_callee(&b.finish(), &Convention::standard()).is_empty());
+    }
+
+    #[test]
+    fn callee_caller_saved_keys_unrestricted() {
+        let x = k(1);
+        let mut b = TraceBuilder::new();
+        b.cvap_producing(0x40, x); // clobbering caller-saved is fine
+        assert!(check_callee(&b.finish(), &Convention::standard()).is_empty());
+    }
+}

@@ -1,0 +1,246 @@
+//! Dependence graphs in the style of the paper's Figure 5.
+//!
+//! A [`DepGraph`] records, for a trace, the three dependence families an
+//! out-of-order processor must respect:
+//!
+//! * **register** dependences (gray arrows in Figure 5): definition → use;
+//! * **memory** dependences (dashed arrows): conflicting accesses to the
+//!   same cache line, chained in program order;
+//! * **execution** dependences (the red arrow EDE adds): producer →
+//!   consumer key links.
+
+use crate::ordering::execution_deps;
+use ede_isa::{InstId, Program, Reg};
+use std::collections::HashMap;
+
+/// Cache-line size used for memory-conflict detection, matching the cache
+/// hierarchy's 64-byte lines.
+pub const LINE_BYTES: u64 = 64;
+
+/// The family a dependence edge belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum DepKind {
+    /// Register definition → use.
+    Register,
+    /// Same-line memory conflict (at least one side writes).
+    Memory,
+    /// EDE execution dependence.
+    Execution,
+}
+
+/// A directed dependence edge: `from` must precede `to`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct DepEdge {
+    /// The earlier instruction.
+    pub from: InstId,
+    /// The later instruction.
+    pub to: InstId,
+    /// The dependence family.
+    pub kind: DepKind,
+}
+
+/// A dependence graph over a trace.
+///
+/// # Example
+///
+/// ```
+/// use ede_core::depgraph::{DepGraph, DepKind};
+/// use ede_isa::{Edk, TraceBuilder};
+///
+/// let mut b = TraceBuilder::new();
+/// let k = Edk::new(1).unwrap();
+/// b.cvap_producing(0x1040, k);
+/// b.store_consuming(0x2080, 7, k);
+/// let g = DepGraph::build(&b.finish());
+/// assert!(g.edges().iter().any(|e| e.kind == DepKind::Execution));
+/// assert!(g.edges().iter().any(|e| e.kind == DepKind::Register));
+/// ```
+#[derive(Clone, Debug)]
+pub struct DepGraph {
+    edges: Vec<DepEdge>,
+    len: usize,
+}
+
+impl DepGraph {
+    /// Builds the full dependence graph for a trace.
+    pub fn build(program: &Program) -> DepGraph {
+        let mut edges = Vec::new();
+
+        // Register dependences: last definition of each register.
+        let mut last_def: HashMap<Reg, InstId> = HashMap::new();
+        for (id, inst) in program.iter() {
+            for src in inst.src_regs() {
+                if let Some(&def) = last_def.get(&src) {
+                    edges.push(DepEdge {
+                        from: def,
+                        to: id,
+                        kind: DepKind::Register,
+                    });
+                }
+            }
+            if let Some(dst) = inst.dst_reg() {
+                last_def.insert(dst, id);
+            }
+        }
+
+        // Memory dependences: chain conflicting accesses per cache line.
+        // We record the last access of each flavor per line and add edges
+        // for write→read, write→write and read→write conflicts.
+        let mut last_write: HashMap<u64, InstId> = HashMap::new();
+        let mut last_reads: HashMap<u64, Vec<InstId>> = HashMap::new();
+        for (id, inst) in program.iter() {
+            let Some(acc) = inst.mem_access() else {
+                continue;
+            };
+            let line = acc.addr / LINE_BYTES;
+            if acc.is_write {
+                if let Some(&w) = last_write.get(&line) {
+                    edges.push(DepEdge {
+                        from: w,
+                        to: id,
+                        kind: DepKind::Memory,
+                    });
+                }
+                for &r in last_reads.get(&line).into_iter().flatten() {
+                    edges.push(DepEdge {
+                        from: r,
+                        to: id,
+                        kind: DepKind::Memory,
+                    });
+                }
+                last_write.insert(line, id);
+                last_reads.remove(&line);
+            } else {
+                if let Some(&w) = last_write.get(&line) {
+                    edges.push(DepEdge {
+                        from: w,
+                        to: id,
+                        kind: DepKind::Memory,
+                    });
+                }
+                last_reads.entry(line).or_default().push(id);
+            }
+        }
+
+        // Execution dependences.
+        for (from, to) in execution_deps(program) {
+            edges.push(DepEdge {
+                from,
+                to,
+                kind: DepKind::Execution,
+            });
+        }
+
+        DepGraph {
+            edges,
+            len: program.len(),
+        }
+    }
+
+    /// All edges, unordered.
+    pub fn edges(&self) -> &[DepEdge] {
+        &self.edges
+    }
+
+    /// Edges of one family.
+    pub fn edges_of(&self, kind: DepKind) -> impl Iterator<Item = &DepEdge> {
+        self.edges.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Number of instructions the graph covers.
+    pub fn num_insts(&self) -> usize {
+        self.len
+    }
+
+    /// Renders the graph in Graphviz DOT format (register edges gray,
+    /// memory edges dashed, execution edges red — Figure 5's styling).
+    pub fn to_dot(&self, program: &Program) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph deps {\n  node [shape=box, fontname=monospace];\n");
+        for (id, inst) in program.iter() {
+            let _ = writeln!(
+                out,
+                "  n{} [label=\"{} {}\"];",
+                id.0,
+                id,
+                ede_isa::disasm::Disasm(inst)
+            );
+        }
+        for e in &self.edges {
+            let style = match e.kind {
+                DepKind::Register => "color=gray",
+                DepKind::Memory => "style=dashed",
+                DepKind::Execution => "color=red, penwidth=2",
+            };
+            let _ = writeln!(out, "  n{} -> n{} [{}];", e.from.0, e.to.0, style);
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ede_isa::{Edk, TraceBuilder};
+
+    #[test]
+    fn register_chain_detected() {
+        let mut b = TraceBuilder::new();
+        b.compute_chain(4);
+        let p = b.finish();
+        let g = DepGraph::build(&p);
+        assert_eq!(g.edges_of(DepKind::Register).count(), 3);
+        assert_eq!(g.num_insts(), 4);
+    }
+
+    #[test]
+    fn same_line_store_then_cvap_is_memory_dep() {
+        // Figure 5: stp → dc cvap on the same line (lines 6→7).
+        let mut b = TraceBuilder::new();
+        let base = b.lea(0x1040);
+        b.store_pair_to(base, 0x1040, [1, 2]);
+        b.cvap_to(base, 0x1040);
+        b.release(base);
+        let p = b.finish();
+        let g = DepGraph::build(&p);
+        let mem: Vec<&DepEdge> = g.edges_of(DepKind::Memory).collect();
+        assert_eq!(mem.len(), 1);
+        // stp is id 3 (lea, mov, mov, stp), cvap id 4.
+        assert_eq!(mem[0].from, InstId(3));
+        assert_eq!(mem[0].to, InstId(4));
+    }
+
+    #[test]
+    fn different_lines_no_memory_dep() {
+        let mut b = TraceBuilder::new();
+        b.store(0x1000, 1);
+        b.store(0x2000, 2);
+        let g = DepGraph::build(&b.finish());
+        assert_eq!(g.edges_of(DepKind::Memory).count(), 0);
+    }
+
+    #[test]
+    fn read_write_conflicts() {
+        let mut b = TraceBuilder::new();
+        b.load(0x40, 0); // read line 1
+        b.store(0x48, 5); // write same line: read→write edge
+        b.load(0x40, 5); // write→read edge
+        let g = DepGraph::build(&b.finish());
+        assert_eq!(g.edges_of(DepKind::Memory).count(), 2);
+    }
+
+    #[test]
+    fn execution_edges_present_and_dot_renders() {
+        let mut b = TraceBuilder::new();
+        let k = Edk::new(1).unwrap();
+        b.cvap_producing(0x1040, k);
+        b.store_consuming(0x2080, 7, k);
+        let p = b.finish();
+        let g = DepGraph::build(&p);
+        assert_eq!(g.edges_of(DepKind::Execution).count(), 1);
+        let dot = g.to_dot(&p);
+        assert!(dot.contains("color=red"));
+        assert!(dot.contains("dc cvap"));
+    }
+}

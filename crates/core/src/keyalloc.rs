@@ -1,0 +1,329 @@
+//! Virtualized Execution Dependence Keys (§IX-A).
+//!
+//! Fifteen architectural keys are plenty for hand-written kernels but not
+//! for a compiler juggling many concurrent dependences. The paper
+//! proposes *virtualizing* EDKs and letting the compiler assign physical
+//! keys with standard register-allocation techniques.
+//!
+//! [`KeyAllocator`] implements a linear-scan-style allocator over an
+//! unbounded virtual key space:
+//!
+//! * a **definition** of a virtual key binds it to a free physical key;
+//! * when no physical key is free, the least-recently-used binding is
+//!   *spilled*: a `WAIT_KEY` on the victim's physical key is emitted,
+//!   which enforces every outstanding dependence through that key eagerly
+//!   (the §IX-B mechanism) so the physical key can be reused;
+//! * a **use** of a virtual key returns its physical key — or `None` if
+//!   the binding was spilled, in which case the dependence is already
+//!   enforced by the emitted `WAIT_KEY` and the consumer needs no key at
+//!   all.
+//!
+//! The net effect: programs may name arbitrarily many concurrent
+//! dependences, and the allocator degrades gracefully to coarser waits
+//! under pressure instead of miscompiling.
+//!
+//! # Scope
+//!
+//! Spills enforce ordering through `WAIT_KEY`'s retirement blocking,
+//! which governs effects that happen *after* retirement — store and
+//! cache-line-writeback consumers, the paper's §IV scope. A *load*
+//! consumer (the §VIII-C extension) takes effect at issue, so its virtual
+//! key must be kept live (not spilled and not [`release`]d) until after
+//! its last use; the compiler owns that lifetime, exactly as it owns
+//! register live ranges.
+//!
+//! [`release`]: KeyAllocator::release
+
+use ede_isa::{Edk, TraceBuilder};
+use std::collections::HashMap;
+
+/// An unbounded, compiler-assigned dependence name.
+///
+/// # Example
+///
+/// ```
+/// use ede_core::keyalloc::VKey;
+/// let v = VKey(17);
+/// assert_eq!(v.0, 17);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct VKey(pub u64);
+
+#[derive(Clone, Copy, Debug)]
+struct Binding {
+    phys: Edk,
+    last_touch: u64,
+}
+
+/// Linear-scan allocator mapping virtual keys onto the fifteen physical
+/// EDKs, spilling via `WAIT_KEY`.
+///
+/// # Example
+///
+/// ```
+/// use ede_core::keyalloc::{KeyAllocator, VKey};
+/// use ede_isa::TraceBuilder;
+///
+/// let mut b = TraceBuilder::new();
+/// let mut ka = KeyAllocator::new();
+/// let k = ka.define(VKey(0), &mut b);
+/// assert!(!k.is_zero());
+/// assert_eq!(ka.use_key(VKey(0)), Some(k));
+/// ```
+#[derive(Clone, Debug)]
+pub struct KeyAllocator {
+    free: Vec<Edk>,
+    bindings: HashMap<VKey, Binding>,
+    clock: u64,
+    spills: u64,
+}
+
+impl Default for KeyAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl KeyAllocator {
+    /// An allocator with all fifteen live keys free.
+    pub fn new() -> KeyAllocator {
+        KeyAllocator {
+            // Reverse so key #1 is handed out first (cosmetic).
+            free: {
+                let mut v: Vec<Edk> = Edk::live_keys().collect();
+                v.reverse();
+                v
+            },
+            bindings: HashMap::new(),
+            clock: 0,
+            spills: 0,
+        }
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Binds `v` to a physical key for a new producer, spilling the
+    /// least-recently-used binding if necessary (which emits a
+    /// `WAIT_KEY` into `builder`). Redefining a live virtual key reuses
+    /// its physical key.
+    pub fn define(&mut self, v: VKey, builder: &mut TraceBuilder) -> Edk {
+        let now = self.tick();
+        if let Some(b) = self.bindings.get_mut(&v) {
+            b.last_touch = now;
+            return b.phys;
+        }
+        let phys = match self.free.pop() {
+            Some(k) => k,
+            None => {
+                // Spill the least-recently-used virtual key.
+                let (&victim, &Binding { phys, .. }) = self
+                    .bindings
+                    .iter()
+                    .min_by_key(|(_, b)| b.last_touch)
+                    .expect("no free key implies live bindings");
+                self.bindings.remove(&victim);
+                self.spills += 1;
+                // Enforce everything outstanding on the victim's physical
+                // key before reusing it; consumers of the spilled virtual
+                // key are now ordered by this wait.
+                builder.wait_key(phys);
+                phys
+            }
+        };
+        self.bindings.insert(
+            v,
+            Binding {
+                phys,
+                last_touch: now,
+            },
+        );
+        phys
+    }
+
+    /// The physical key currently carrying `v`, refreshing recency —
+    /// `None` if the binding was spilled (the dependence is already
+    /// enforced by the spill's `WAIT_KEY`; encode the zero key).
+    pub fn use_key(&mut self, v: VKey) -> Option<Edk> {
+        let now = self.tick();
+        let b = self.bindings.get_mut(&v)?;
+        b.last_touch = now;
+        Some(b.phys)
+    }
+
+    /// Drops `v`'s binding, returning its physical key to the pool (the
+    /// compiler knows the dependence is dead past its last consumer).
+    pub fn release(&mut self, v: VKey) {
+        if let Some(b) = self.bindings.remove(&v) {
+            self.free.push(b.phys);
+        }
+    }
+
+    /// Number of live bindings.
+    pub fn live(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// Spills performed so far.
+    pub fn spills(&self) -> u64 {
+        self.spills
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ede_isa::{InstKind, Program};
+
+    fn kinds(p: &Program) -> Vec<InstKind> {
+        p.iter().map(|(_, i)| i.kind()).collect()
+    }
+
+    #[test]
+    fn no_spill_within_fifteen_keys() {
+        let mut b = TraceBuilder::new();
+        let mut ka = KeyAllocator::new();
+        let mut phys = std::collections::HashSet::new();
+        for i in 0..15 {
+            phys.insert(ka.define(VKey(i), &mut b));
+        }
+        assert_eq!(phys.len(), 15);
+        assert_eq!(ka.spills(), 0);
+        assert!(b.is_empty(), "no spill code emitted");
+    }
+
+    #[test]
+    fn sixteenth_key_spills_lru() {
+        let mut b = TraceBuilder::new();
+        let mut ka = KeyAllocator::new();
+        for i in 0..15 {
+            ka.define(VKey(i), &mut b);
+        }
+        // Touch key 0 so key 1 becomes the LRU victim.
+        ka.use_key(VKey(0));
+        let k15 = ka.define(VKey(15), &mut b);
+        assert_eq!(ka.spills(), 1);
+        assert_eq!(kinds(&b.finish()), vec![InstKind::EdeControl]);
+        // The spilled virtual key now resolves to no physical key.
+        assert_eq!(ka.use_key(VKey(1)), None);
+        // And the new binding took over the victim's physical key.
+        assert!(!k15.is_zero());
+        assert_eq!(ka.use_key(VKey(0)).is_some(), true);
+    }
+
+    #[test]
+    fn release_recycles_without_spill() {
+        let mut b = TraceBuilder::new();
+        let mut ka = KeyAllocator::new();
+        for i in 0..15 {
+            ka.define(VKey(i), &mut b);
+        }
+        ka.release(VKey(3));
+        let _ = ka.define(VKey(99), &mut b);
+        assert_eq!(ka.spills(), 0);
+        assert_eq!(ka.live(), 15);
+    }
+
+    #[test]
+    fn redefine_keeps_physical_key() {
+        let mut b = TraceBuilder::new();
+        let mut ka = KeyAllocator::new();
+        let k1 = ka.define(VKey(7), &mut b);
+        let k2 = ka.define(VKey(7), &mut b);
+        assert_eq!(k1, k2);
+        assert_eq!(ka.live(), 1);
+    }
+
+    #[test]
+    fn heavy_pressure_stays_correct_by_timing() {
+        // 60 producer/consumer pairs with disjoint virtual keys — four
+        // times the physical space. Run on the simulated core and verify
+        // every virtual dependence was honored (directly or via spills).
+        use ede_core_test_support::run_and_check_virtual_deps;
+        let mut b = TraceBuilder::new();
+        let mut ka = KeyAllocator::new();
+        let mut vdeps = Vec::new();
+        for i in 0..60u64 {
+            let v = VKey(i);
+            let slot = 0x1_0000_0000 + i * 0x140;
+            let elem = 0x1_0002_0000 + i * 0x140;
+            let def = ka.define(v, &mut b);
+            let producer = b.cvap_producing(slot, def);
+            let use_ = ka.use_key(v);
+            let consumer = match use_ {
+                Some(k) => b.store_consuming(elem, i, k),
+                None => b.store(elem, i),
+            };
+            vdeps.push((producer, consumer));
+        }
+        assert!(ka.spills() > 0, "pressure must cause spills");
+        run_and_check_virtual_deps(b.finish(), &vdeps);
+    }
+
+    /// Minimal in-test support shim: run the program on a fixed-latency
+    /// "memory" by computing architectural orderings only. Since this
+    /// crate cannot depend on `ede-cpu`, the check is architectural: for
+    /// every virtual dependence, the consumer must be ordered after the
+    /// producer through the program's execution dependences (a direct
+    /// key link, or transitively through a `WAIT_KEY`).
+    mod ede_core_test_support {
+        use crate::ordering::execution_deps;
+        use ede_isa::{InstId, Program};
+        use std::collections::{HashMap, HashSet, VecDeque};
+
+        pub fn run_and_check_virtual_deps(p: Program, vdeps: &[(InstId, InstId)]) {
+            // Build the "enforced before" DAG: execution deps, plus
+            // program order *through* ordering instructions (an
+            // instruction after a WAIT_KEY is ordered after everything
+            // the WAIT_KEY waits for, because WAIT_KEY blocks younger
+            // consumers via its produced key… conservatively, treat
+            // program order after a WAIT as ordered for store/cvap
+            // consumers — which is how the allocator uses it).
+            let deps = execution_deps(&p);
+            let mut fwd: HashMap<InstId, Vec<InstId>> = HashMap::new();
+            for &(a, b) in &deps {
+                fwd.entry(a).or_default().push(b);
+            }
+            // WAIT_KEY orders everything after it (its own completion
+            // blocks retirement of younger stores under both designs).
+            let mut waits: Vec<InstId> = Vec::new();
+            for (id, inst) in p.iter() {
+                if matches!(inst.op, ede_isa::Op::WaitKey { .. }) {
+                    waits.push(id);
+                }
+            }
+            for &w in &waits {
+                for (id, _) in p.iter() {
+                    if id > w {
+                        fwd.entry(w).or_default().push(id);
+                    }
+                }
+            }
+            let reachable = |from: InstId, to: InstId| -> bool {
+                let mut seen = HashSet::new();
+                let mut q = VecDeque::from([from]);
+                while let Some(n) = q.pop_front() {
+                    if n == to {
+                        return true;
+                    }
+                    if let Some(next) = fwd.get(&n) {
+                        for &m in next {
+                            if seen.insert(m) {
+                                q.push_back(m);
+                            }
+                        }
+                    }
+                }
+                false
+            };
+            for &(prod, cons) in vdeps {
+                assert!(
+                    reachable(prod, cons),
+                    "virtual dependence {prod} -> {cons} not enforced"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Execution Dependence Extension — core dependence-tracking machinery.
+//!
+//! This crate is the paper's primary contribution in library form. It
+//! implements everything EDE adds to a processor *except* the pipeline
+//! itself (which lives in `ede-cpu`):
+//!
+//! * [`Edm`] / [`SpeculativeEdm`] — the Execution Dependence Map, the
+//!   fifteen-entry key→instruction map consulted at decode (§IV-A1), with
+//!   the speculative/non-speculative checkpointing scheme of §V-A1.
+//! * [`InFlightEde`] — ordered tracking of incomplete EDE instructions,
+//!   subsuming the per-key and global counters the WB design uses for
+//!   `WAIT_KEY` / `WAIT_ALL_KEYS` (§V-D).
+//! * [`EnforcementPoint`] — where the hardware enforces execution
+//!   dependences: the issue queue (*IQ*, §V-B1) or the write buffer
+//!   (*WB*, §V-B3).
+//! * [`ordering`] — an architectural validator: given observed completion
+//!   and visibility times, checks that every execution dependence the
+//!   program encodes was honored. Used as the master invariant in the
+//!   simulator's property tests.
+//! * [`depgraph`] — register/memory/execution dependence graphs in the
+//!   style of Figure 5.
+//! * [`calling_convention`] — caller-/callee-saved key classes and the
+//!   static checks of §IX-B (Figure 13).
+//!
+//! # Example
+//!
+//! Decoding the Figure 7 pair through the EDM links the consumer store to
+//! the producer writeback:
+//!
+//! ```
+//! use ede_core::SpeculativeEdm;
+//! use ede_isa::{Edk, EdkPair, Inst, InstId, Op, Reg};
+//!
+//! let k = Edk::new(1).unwrap();
+//! let cvap = Inst::with_edks(
+//!     Op::DcCvap { base: Reg::x(0).unwrap(), addr: 0x40 },
+//!     EdkPair::producer(k),
+//! );
+//! let store = Inst::with_edks(
+//!     Op::Str { src: Reg::x(1).unwrap(), base: Reg::x(2).unwrap(), addr: 0x80, value: 6 },
+//!     EdkPair::consumer(k),
+//! );
+//!
+//! let mut edm = SpeculativeEdm::new();
+//! let d0 = edm.decode(&cvap, InstId(0));
+//! assert!(d0.is_empty());                       // nothing to wait for
+//! let d1 = edm.decode(&store, InstId(1));
+//! assert_eq!(d1.sources(), vec![InstId(0)]);    // store waits on the cvap
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calling_convention;
+pub mod depgraph;
+pub mod edm;
+pub mod keyalloc;
+pub mod ordering;
+pub mod policy;
+pub mod tracker;
+
+pub use edm::{ConsumedDeps, Edm, SpeculativeEdm};
+pub use policy::EnforcementPoint;
+pub use tracker::InFlightEde;

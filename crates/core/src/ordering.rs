@@ -1,0 +1,298 @@
+//! Architectural ordering validator.
+//!
+//! Given an instruction trace and the *observed* timing of a simulated
+//! execution, this module checks that every ordering the trace encodes —
+//! EDE execution dependences and fences — was honored. It is the master
+//! invariant used by the simulator's tests: whatever the pipeline did, a
+//! producer must have completed before its consumer's effects became
+//! observable.
+
+use ede_isa::{Edk, InstId, InstKind, Op, Program, NUM_EDKS};
+
+/// Observed timing of one dynamic instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct InstTiming {
+    /// Cycle at which the instruction's effects first became observable:
+    /// execution for ALU/loads, the push to the memory system for stores,
+    /// the persist request for writebacks.
+    pub effect: u64,
+    /// Cycle at which the instruction completed in the EDE sense (§IV-B1):
+    /// stores when globally visible, writebacks when persistence is
+    /// guaranteed, others at writeback.
+    pub complete: u64,
+}
+
+/// A violated ordering requirement.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Violation {
+    /// The instruction whose completion was required first.
+    pub producer: InstId,
+    /// The instruction whose effect had to wait.
+    pub consumer: InstId,
+    /// Which rule was violated.
+    pub kind: ViolationKind,
+}
+
+/// The ordering rule a [`Violation`] breaks.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ViolationKind {
+    /// An EDE execution dependence (key link, `JOIN`, `WAIT_KEY`, or
+    /// `WAIT_ALL_KEYS`).
+    Execution,
+    /// A `DSB SY` ordering (older instruction vs. younger instruction).
+    FullFence,
+}
+
+/// Computes the execution dependences a trace encodes, in architectural
+/// (program-order) terms: each consumer is paired with every producer it
+/// must wait for.
+///
+/// For key-pair variants and `JOIN` this is the most recent prior producer
+/// of each consumed key; for `WAIT_KEY` it is *all* older producers of the
+/// key; for `WAIT_ALL_KEYS`, all older EDE instructions.
+///
+/// # Example
+///
+/// ```
+/// use ede_core::ordering::execution_deps;
+/// use ede_isa::{Edk, InstId, TraceBuilder};
+///
+/// let mut b = TraceBuilder::new();
+/// let k = Edk::new(1).unwrap();
+/// b.cvap_producing(0x40, k);          // lea + cvap → producer is #1
+/// b.store_consuming(0x80, 7, k);      // lea + mov + str → consumer is #4
+/// let deps = execution_deps(&b.finish());
+/// assert_eq!(deps, vec![(InstId(1), InstId(4))]);
+/// ```
+pub fn execution_deps(program: &Program) -> Vec<(InstId, InstId)> {
+    let mut deps = Vec::new();
+    // Most recent producer per key, by program order (never cleared:
+    // completion only relaxes orderings, it cannot add them).
+    let mut latest: [Option<InstId>; NUM_EDKS] = [None; NUM_EDKS];
+    // All producers per key, for WAIT_KEY.
+    let mut all_producers: Vec<Vec<InstId>> = vec![Vec::new(); NUM_EDKS];
+    // All EDE instructions, for WAIT_ALL_KEYS.
+    let mut all_ede: Vec<InstId> = Vec::new();
+
+    let consume = |key: Edk, id: InstId, latest: &[Option<InstId>; NUM_EDKS], deps: &mut Vec<(InstId, InstId)>| {
+        if let Some(p) = latest[key.index() as usize] {
+            if !key.is_zero() {
+                deps.push((p, id));
+            }
+        }
+    };
+
+    for (id, inst) in program.iter() {
+        match inst.op {
+            Op::Join { use2 } => {
+                consume(inst.edks.use_, id, &latest, &mut deps);
+                consume(use2, id, &latest, &mut deps);
+            }
+            Op::WaitKey { key } => {
+                for &p in &all_producers[key.index() as usize] {
+                    deps.push((p, id));
+                }
+            }
+            Op::WaitAllKeys => {
+                for &p in &all_ede {
+                    deps.push((p, id));
+                }
+            }
+            _ => {
+                consume(inst.edks.use_, id, &latest, &mut deps);
+            }
+        }
+        // Record this instruction's produced key.
+        let produced = match inst.op {
+            Op::WaitKey { key } => key,
+            _ => inst.edks.def,
+        };
+        if !produced.is_zero() {
+            latest[produced.index() as usize] = Some(id);
+            all_producers[produced.index() as usize].push(id);
+        }
+        if inst.is_ede() {
+            all_ede.push(id);
+        }
+    }
+    deps
+}
+
+/// Checks that every execution dependence in `program` was honored by an
+/// execution with the given per-instruction timing.
+///
+/// `times[i]` describes instruction `InstId(i)`. Returns all violations
+/// (empty means the execution was correct).
+///
+/// # Panics
+///
+/// Panics if `times` is shorter than the program.
+pub fn check_execution_deps(program: &Program, times: &[InstTiming]) -> Vec<Violation> {
+    assert!(times.len() >= program.len(), "missing timing entries");
+    execution_deps(program)
+        .into_iter()
+        .filter(|&(p, c)| times[p.index()].complete > times[c.index()].effect)
+        .map(|(p, c)| Violation {
+            producer: p,
+            consumer: c,
+            kind: ViolationKind::Execution,
+        })
+        .collect()
+}
+
+/// Checks `DSB SY` semantics: no instruction younger than a DSB may have
+/// an effect before every older instruction completed.
+///
+/// To keep this O(n), the check uses running maxima/minima per DSB window
+/// rather than all pairs; a violation is reported against the offending
+/// DSB with the earliest-effect younger instruction.
+///
+/// # Panics
+///
+/// Panics if `times` is shorter than the program.
+pub fn check_full_fences(program: &Program, times: &[InstTiming]) -> Vec<Violation> {
+    assert!(times.len() >= program.len(), "missing timing entries");
+    let mut violations = Vec::new();
+    let mut max_complete_before: u64 = 0;
+    // For each DSB, remember the completion high-water mark of everything
+    // older; scan younger instructions for an effect earlier than it.
+    let mut pending: Vec<(InstId, u64)> = Vec::new(); // (dsb, required floor)
+    for (id, inst) in program.iter() {
+        if inst.kind() == InstKind::FenceFull {
+            pending.push((id, max_complete_before));
+        } else {
+            let t = times[id.index()];
+            for &(dsb, floor) in &pending {
+                if t.effect < floor {
+                    violations.push(Violation {
+                        producer: dsb,
+                        consumer: id,
+                        kind: ViolationKind::FullFence,
+                    });
+                }
+            }
+            max_complete_before = max_complete_before.max(t.complete);
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ede_isa::{Edk, TraceBuilder};
+
+    fn k(n: u8) -> Edk {
+        Edk::new(n).unwrap()
+    }
+
+    fn honored(effect_p: u64, complete_p: u64, effect_c: u64) -> bool {
+        let mut b = TraceBuilder::new();
+        b.cvap_producing(0x40, k(1)); // ids 0 (lea), 1 (cvap)
+        b.store_consuming(0x80, 7, k(1)); // ids 2 (lea), 3 (mov), 4 (str)
+        let p = b.finish();
+        let mut times = vec![InstTiming::default(); p.len()];
+        times[1] = InstTiming {
+            effect: effect_p,
+            complete: complete_p,
+        };
+        times[4] = InstTiming {
+            effect: effect_c,
+            complete: effect_c + 1,
+        };
+        check_execution_deps(&p, &times).is_empty()
+    }
+
+    #[test]
+    fn detects_violation_and_accepts_correct_order() {
+        assert!(honored(5, 10, 10)); // consumer effect at producer completion: ok
+        assert!(honored(5, 10, 50));
+        assert!(!honored(5, 10, 9)); // consumer visible before producer done
+    }
+
+    #[test]
+    fn wait_key_requires_all_older_producers() {
+        let mut b = TraceBuilder::new();
+        b.cvap_producing(0x40, k(2)); // producer A = id 1
+        b.cvap_producing(0x80, k(2)); // producer B = id 3 (overwrites EDM)
+        b.wait_key(k(2)); // id 4
+        let p = b.finish();
+        let deps = execution_deps(&p);
+        assert!(deps.contains(&(InstId(1), InstId(4))));
+        assert!(deps.contains(&(InstId(3), InstId(4))));
+    }
+
+    #[test]
+    fn wait_all_keys_covers_consumers() {
+        let mut b = TraceBuilder::new();
+        b.cvap_producing(0x40, k(1)); // id 1 producer
+        b.store_consuming(0x80, 7, k(1)); // id 4 consumer
+        b.wait_all_keys(); // id 5
+        let p = b.finish();
+        let deps = execution_deps(&p);
+        assert!(deps.contains(&(InstId(1), InstId(5))));
+        assert!(deps.contains(&(InstId(4), InstId(5))));
+    }
+
+    #[test]
+    fn key_reuse_links_to_most_recent_producer_only() {
+        let mut b = TraceBuilder::new();
+        b.cvap_producing(0x40, k(1)); // id 1
+        b.store_consuming(0x80, 1, k(1)); // id 4 ← id 1
+        b.cvap_producing(0xc0, k(1)); // id 6
+        b.store_consuming(0x100, 2, k(1)); // id 9 ← id 6
+        let p = b.finish();
+        let deps = execution_deps(&p);
+        assert_eq!(deps, vec![(InstId(1), InstId(4)), (InstId(6), InstId(9))]);
+    }
+
+    #[test]
+    fn consumer_with_no_prior_producer_has_no_dep() {
+        let mut b = TraceBuilder::new();
+        b.store_consuming(0x80, 7, k(9));
+        let deps = execution_deps(&b.finish());
+        assert!(deps.is_empty());
+    }
+
+    #[test]
+    fn dsb_check_flags_early_younger_effect() {
+        let mut b = TraceBuilder::new();
+        b.store(0x40, 1); // ids 0,1,2 (lea,mov,str)
+        b.dsb_sy(); // id 3
+        b.store(0x80, 2); // ids 4,5,6
+        let p = b.finish();
+        let mut times = vec![InstTiming::default(); p.len()];
+        // Older store completes at 100; younger store's effect at 50.
+        times[2] = InstTiming {
+            effect: 20,
+            complete: 100,
+        };
+        for i in [4usize, 5, 6] {
+            times[i] = InstTiming {
+                effect: 50,
+                complete: 60,
+            };
+        }
+        let v = check_full_fences(&p, &times);
+        assert!(!v.is_empty());
+        assert_eq!(v[0].kind, ViolationKind::FullFence);
+
+        // Fix the timing: younger effects at/after 100.
+        for i in [4usize, 5, 6] {
+            times[i] = InstTiming {
+                effect: 100,
+                complete: 120,
+            };
+        }
+        assert!(check_full_fences(&p, &times).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "missing timing entries")]
+    fn short_times_panics() {
+        let mut b = TraceBuilder::new();
+        b.store(0x40, 1);
+        let p = b.finish();
+        check_execution_deps(&p, &[]);
+    }
+}

@@ -1,0 +1,170 @@
+//! Property tests for the Execution Dependence Map and the in-flight
+//! tracker.
+
+use ede_core::{Edm, InFlightEde, SpeculativeEdm};
+use ede_isa::{Edk, EdkPair, Inst, InstId, Op, Reg};
+use proptest::prelude::*;
+
+#[derive(Clone, Copy, Debug)]
+enum EdmOp {
+    DecodeProducer { key: u8 },
+    DecodeConsumer { key: u8 },
+    RetireNext,
+    Complete { which: u8 },
+    Squash,
+}
+
+fn op_strategy() -> impl Strategy<Value = EdmOp> {
+    prop_oneof![
+        (1u8..16).prop_map(|key| EdmOp::DecodeProducer { key }),
+        (1u8..16).prop_map(|key| EdmOp::DecodeConsumer { key }),
+        Just(EdmOp::RetireNext),
+        any::<u8>().prop_map(|which| EdmOp::Complete { which }),
+        Just(EdmOp::Squash),
+    ]
+}
+
+fn producer(key: u8) -> Inst {
+    Inst::with_edks(
+        Op::DcCvap {
+            base: Reg::x(0).expect("register"),
+            addr: 0,
+        },
+        EdkPair::producer(Edk::new(key).expect("key")),
+    )
+}
+
+fn consumer(key: u8) -> Inst {
+    Inst::with_edks(
+        Op::Str {
+            src: Reg::x(1).expect("register"),
+            base: Reg::x(2).expect("register"),
+            addr: 0,
+            value: 0,
+        },
+        EdkPair::consumer(Edk::new(key).expect("key")),
+    )
+}
+
+proptest! {
+    /// Whatever sequence of decodes, retires, completions and squashes
+    /// happens, the EDM's invariants hold: consumers link only to older
+    /// instructions, completed producers impose no dependences, and a
+    /// squash restores exactly the retired state.
+    #[test]
+    fn edm_state_machine(ops in prop::collection::vec(op_strategy(), 1..80)) {
+        let mut edm = SpeculativeEdm::new();
+        let mut next = 0u64;
+        let mut decoded: Vec<(Inst, InstId)> = Vec::new(); // not yet retired
+        let mut completed: Vec<InstId> = Vec::new();
+        let mut nonspec_shadow: Edm = Edm::new();
+
+        for op in ops {
+            match op {
+                EdmOp::DecodeProducer { key } => {
+                    let id = InstId(next);
+                    next += 1;
+                    let inst = producer(key);
+                    let deps = edm.decode(&inst, id);
+                    for s in deps.sources() {
+                        prop_assert!(s < id);
+                        prop_assert!(!completed.contains(&s));
+                    }
+                    decoded.push((inst, id));
+                }
+                EdmOp::DecodeConsumer { key } => {
+                    let id = InstId(next);
+                    next += 1;
+                    let inst = consumer(key);
+                    let deps = edm.decode(&inst, id);
+                    for s in deps.sources() {
+                        prop_assert!(s < id);
+                        prop_assert!(!completed.contains(&s));
+                    }
+                    decoded.push((inst, id));
+                }
+                EdmOp::RetireNext => {
+                    if !decoded.is_empty() {
+                        let (inst, id) = decoded.remove(0);
+                        // Pipelines skip the non-speculative replay for
+                        // already-completed instructions (see
+                        // `SpeculativeEdm::retire`'s contract).
+                        if !completed.contains(&id) {
+                            edm.retire(&inst, id);
+                            nonspec_shadow.define(inst.edks.def, id);
+                        }
+                    }
+                }
+                EdmOp::Complete { which } => {
+                    // Complete an arbitrary known instruction id.
+                    if next > 0 {
+                        let id = InstId(u64::from(which) % next);
+                        edm.complete(id);
+                        nonspec_shadow.clear_matching(id);
+                        if !completed.contains(&id) {
+                            completed.push(id);
+                        }
+                    }
+                }
+                EdmOp::Squash => {
+                    edm.squash();
+                    decoded.clear(); // squashed instructions never retire
+                    // After a squash, the speculative map equals the
+                    // non-speculative map.
+                    for k in Edk::live_keys() {
+                        prop_assert_eq!(edm.spec().lookup(k), edm.nonspec().lookup(k));
+                    }
+                }
+            }
+            // The shadow tracks the non-speculative copy exactly.
+            for k in Edk::live_keys() {
+                prop_assert_eq!(edm.nonspec().lookup(k), nonspec_shadow.lookup(k));
+            }
+        }
+    }
+
+    /// Tracker counters equal a straightforward reference model.
+    #[test]
+    fn tracker_matches_reference(ops in prop::collection::vec((0u8..3, 1u8..16), 1..100)) {
+        let mut t = InFlightEde::new();
+        let mut reference: Vec<(u8, InstId)> = Vec::new(); // (key, id) live producers
+        let mut next = 0u64;
+        let mut live: Vec<(Inst, InstId)> = Vec::new();
+        for (action, key) in ops {
+            match action {
+                0 => {
+                    let id = InstId(next);
+                    next += 1;
+                    let inst = producer(key);
+                    t.insert(&inst, id);
+                    reference.push((key, id));
+                    live.push((inst, id));
+                }
+                1 => {
+                    if let Some((inst, id)) = live.pop() {
+                        t.complete(&inst, id);
+                        reference.retain(|&(_, rid)| rid != id);
+                    }
+                }
+                _ => {
+                    // Squash everything younger than half of the ids.
+                    let cut = InstId(next / 2);
+                    t.squash_younger(cut);
+                    reference.retain(|&(_, rid)| rid <= cut);
+                    live.retain(|&(_, rid)| rid <= cut);
+                }
+            }
+            for k in 1u8..16 {
+                let expect = reference.iter().filter(|&&(rk, _)| rk == k).count();
+                prop_assert_eq!(t.count(Edk::new(k).expect("key")), expect);
+            }
+            prop_assert_eq!(t.total(), reference.len());
+            // has_producer_before agrees with the reference.
+            let probe = InstId(next);
+            for k in 1u8..16 {
+                let expect = reference.iter().any(|&(rk, rid)| rk == k && rid < probe);
+                prop_assert_eq!(t.has_producer_before(Edk::new(k).expect("key"), probe), expect);
+            }
+        }
+    }
+}

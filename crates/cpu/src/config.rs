@@ -1,0 +1,110 @@
+//! Core configuration (the processor half of Table I).
+
+use ede_core::EnforcementPoint;
+
+/// Out-of-order core parameters.
+///
+/// [`CpuConfig::a72`] reproduces Table I's A72-like core: 3-wide decode at
+/// 3 GHz, an 8-wide issue queue, 16-entry load and store queues, and a
+/// 16-entry write buffer.
+///
+/// # Example
+///
+/// ```
+/// use ede_cpu::CpuConfig;
+/// use ede_core::EnforcementPoint;
+///
+/// let cfg = CpuConfig::a72().with_enforcement(EnforcementPoint::WriteBuffer);
+/// assert_eq!(cfg.decode_width, 3);
+/// assert_eq!(cfg.issue_width, 8);
+/// assert_eq!(cfg.enforcement, Some(EnforcementPoint::WriteBuffer));
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CpuConfig {
+    /// Instructions fetched per cycle.
+    pub fetch_width: usize,
+    /// Instructions decoded/dispatched per cycle (Table I: 3).
+    pub decode_width: usize,
+    /// Issue-queue width (the paper's Figure 11 histogram runs 0..=8).
+    pub issue_width: usize,
+    /// Instructions retired per cycle.
+    pub retire_width: usize,
+    /// Reorder-buffer capacity.
+    pub rob_entries: usize,
+    /// Issue-queue capacity.
+    pub iq_entries: usize,
+    /// Load-queue entries (Table I: 16).
+    pub lq_entries: usize,
+    /// Store-queue entries (Table I: 16).
+    pub sq_entries: usize,
+    /// Write-buffer entries (Table I: 16).
+    pub wb_entries: usize,
+    /// Write-buffer drains attempted per cycle.
+    pub wb_drain_per_cycle: usize,
+    /// Front-end refill penalty after a branch misprediction, in cycles.
+    pub mispredict_penalty: u64,
+    /// Where EDE dependences are enforced; `None` for non-EDE
+    /// configurations (their traces contain no EDE instructions).
+    pub enforcement: Option<EnforcementPoint>,
+    /// EDM squash-recovery scheme (§V-A1): `false` restores the
+    /// speculative map from the non-speculative copy and replays the
+    /// un-retired prefix (the paper's baseline scheme); `true` keeps a
+    /// per-branch checkpoint of the speculative map and restores it
+    /// directly. Both produce identical timing (an equivalence the test
+    /// suite asserts); they differ in hardware cost.
+    pub edm_branch_checkpoints: bool,
+}
+
+impl CpuConfig {
+    /// The Table I A72-like configuration (no EDE enforcement selected).
+    pub fn a72() -> CpuConfig {
+        CpuConfig {
+            fetch_width: 3,
+            decode_width: 3,
+            issue_width: 8,
+            retire_width: 3,
+            rob_entries: 128,
+            iq_entries: 60,
+            lq_entries: 16,
+            sq_entries: 16,
+            wb_entries: 16,
+            wb_drain_per_cycle: 2,
+            mispredict_penalty: 15,
+            enforcement: None,
+            edm_branch_checkpoints: false,
+        }
+    }
+
+    /// Returns the configuration with the given EDE enforcement point.
+    pub fn with_enforcement(mut self, point: EnforcementPoint) -> CpuConfig {
+        self.enforcement = Some(point);
+        self
+    }
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        CpuConfig::a72()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values() {
+        let c = CpuConfig::a72();
+        assert_eq!(c.decode_width, 3);
+        assert_eq!(c.lq_entries, 16);
+        assert_eq!(c.sq_entries, 16);
+        assert_eq!(c.wb_entries, 16);
+        assert_eq!(c.enforcement, None);
+    }
+
+    #[test]
+    fn builder_sets_enforcement() {
+        let c = CpuConfig::a72().with_enforcement(EnforcementPoint::IssueQueue);
+        assert_eq!(c.enforcement, Some(EnforcementPoint::IssueQueue));
+    }
+}

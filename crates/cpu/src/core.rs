@@ -1,0 +1,1465 @@
+//! The out-of-order pipeline.
+
+use crate::config::CpuConfig;
+use crate::port::MemPort;
+use crate::ptrace::{PipeEvent, PipeObserver, PipeStage};
+use crate::stats::IssueHistogram;
+use crate::wb::{WbKind, WriteBuffer};
+use ede_core::ordering::InstTiming;
+use ede_core::{EnforcementPoint, InFlightEde, SpeculativeEdm};
+use ede_isa::{Inst, InstId, InstKind, Op, Program, Reg};
+use ede_mem::{ReqId, ReqKind};
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, HashMap, VecDeque};
+use std::fmt;
+
+/// Cycles in which dispatch made no progress, by cause (diagnostics).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct StallStats {
+    /// Dispatch blocked behind a `DSB SY`.
+    pub dsb: u64,
+    /// Reorder buffer full.
+    pub rob: u64,
+    /// Issue queue full.
+    pub iq: u64,
+    /// Load or store queue full.
+    pub lsq: u64,
+    /// Nothing fetched (front-end empty or refilling after a squash).
+    pub frontend: u64,
+}
+
+/// Result of a completed run.
+#[derive(Clone, Debug)]
+pub struct RunStats {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Instructions retired (equals the trace length).
+    pub retired: u64,
+    /// Instructions-issued-per-cycle histogram (Figure 11).
+    pub issue_hist: IssueHistogram,
+    /// Per-instruction observed timing, indexed by trace position; feeds
+    /// the `ede-core` ordering validator.
+    pub timings: Vec<InstTiming>,
+    /// Pipeline squashes taken (mispredicted branches).
+    pub squashes: u64,
+    /// Zero-dispatch cycle counts by cause.
+    pub stalls: StallStats,
+}
+
+impl RunStats {
+    /// Retired instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// Why a run failed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CoreError {
+    /// The cycle limit elapsed before the trace finished — either the
+    /// limit was too small or the pipeline deadlocked.
+    CycleLimit {
+        /// Cycle at which the run gave up.
+        at: u64,
+        /// Instructions retired by then.
+        retired: u64,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::CycleLimit { at, retired } => write!(
+                f,
+                "cycle limit reached at cycle {at} with {retired} instructions retired"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Pipeline state of one dynamic instruction.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Default)]
+enum State {
+    #[default]
+    NotDispatched,
+    /// Waiting in the issue queue.
+    InIq,
+    /// In a functional unit; completion queued.
+    Executing,
+    /// Issued to memory; waiting for the response.
+    WaitMem,
+    /// Result produced (register value available / store data+addr ready).
+    Executed,
+    /// Left the ROB (stores/writebacks: deposited in the write buffer).
+    Retired,
+    /// Complete in the EDE sense (§IV-B1).
+    Complete,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Slot {
+    epoch: u32,
+    state: State,
+    pending_regs: u8,
+    edep_pending: u8,
+    edep_srcs: [Option<InstId>; 2],
+    timing: InstTiming,
+}
+
+/// The simulated core.
+///
+/// Construct with a configuration, a trace, and a memory system; then call
+/// [`run`](Self::run). See the [crate documentation](crate) for an
+/// example.
+pub struct Core<M> {
+    cfg: CpuConfig,
+    program: Program,
+    mem: M,
+    now: u64,
+
+    fetch_ptr: usize,
+    fetch_resume: u64,
+    fetch_q: VecDeque<InstId>,
+
+    rob: VecDeque<InstId>,
+    iq: Vec<InstId>,
+    lq_used: usize,
+    sq_used: usize,
+    wbuf: WriteBuffer,
+
+    slots: Vec<Slot>,
+    scoreboard: HashMap<Reg, InstId>,
+    reg_waiters: HashMap<InstId, Vec<(InstId, u32)>>,
+    edep_waiters: HashMap<InstId, Vec<(InstId, u32)>>,
+
+    edm: SpeculativeEdm,
+    tracker: InFlightEde,
+    incomplete: BTreeSet<InstId>,
+    incomplete_mem: BTreeSet<InstId>,
+    incomplete_stores: BTreeSet<InstId>,
+    live_dmbs: BTreeSet<InstId>,
+    live_stbars: BTreeSet<InstId>,
+    live_wait_alls: BTreeSet<InstId>,
+    dispatch_block: Option<InstId>,
+
+    store_map: HashMap<u64, Vec<InstId>>,
+    req_map: HashMap<ReqId, (InstId, u32)>,
+    /// Per-branch EDM checkpoints (only with `edm_branch_checkpoints`).
+    edm_checkpoints: Vec<(InstId, ede_core::Edm)>,
+    fu_done: BinaryHeap<Reverse<(u64, u64, u32)>>, // (cycle, id, epoch)
+
+    issue_hist: IssueHistogram,
+    retired: u64,
+    squashes: u64,
+    stalls: StallStats,
+    observer: Option<PipeObserver>,
+}
+
+impl<M: MemPort> Core<M> {
+    /// Builds a core over `program` and `mem`.
+    pub fn new(cfg: CpuConfig, program: Program, mem: M) -> Core<M> {
+        let n = program.len();
+        let issue_width = cfg.issue_width;
+        let wb_entries = cfg.wb_entries;
+        Core {
+            cfg,
+            program,
+            mem,
+            now: 0,
+            fetch_ptr: 0,
+            fetch_resume: 0,
+            fetch_q: VecDeque::new(),
+            rob: VecDeque::new(),
+            iq: Vec::new(),
+            lq_used: 0,
+            sq_used: 0,
+            wbuf: WriteBuffer::new(wb_entries),
+            slots: vec![Slot::default(); n],
+            scoreboard: HashMap::new(),
+            reg_waiters: HashMap::new(),
+            edep_waiters: HashMap::new(),
+            edm: SpeculativeEdm::new(),
+            tracker: InFlightEde::new(),
+            incomplete: BTreeSet::new(),
+            incomplete_mem: BTreeSet::new(),
+            incomplete_stores: BTreeSet::new(),
+            live_dmbs: BTreeSet::new(),
+            live_stbars: BTreeSet::new(),
+            live_wait_alls: BTreeSet::new(),
+            dispatch_block: None,
+            store_map: HashMap::new(),
+            req_map: HashMap::new(),
+            edm_checkpoints: Vec::new(),
+            fu_done: BinaryHeap::new(),
+            issue_hist: IssueHistogram::new(issue_width),
+            retired: 0,
+            squashes: 0,
+            stalls: StallStats::default(),
+            observer: None,
+        }
+    }
+
+    /// Attaches a pipeline-event observer (see [`crate::ptrace`]); events
+    /// are delivered synchronously as the machine simulates.
+    pub fn set_observer(&mut self, observer: PipeObserver) {
+        self.observer = Some(observer);
+    }
+
+    fn emit(&mut self, id: InstId, stage: PipeStage) {
+        if let Some(obs) = &mut self.observer {
+            obs(PipeEvent {
+                cycle: self.now,
+                id,
+                stage,
+            });
+        }
+    }
+
+    fn inst(&self, id: InstId) -> &Inst {
+        &self.program[id]
+    }
+
+    fn is_mem_op(kind: InstKind) -> bool {
+        matches!(kind, InstKind::Load | InstKind::Store | InstKind::Writeback)
+    }
+
+    /// Whether the whole trace has drained from the machine.
+    pub fn finished(&self) -> bool {
+        self.fetch_ptr >= self.program.len()
+            && self.fetch_q.is_empty()
+            && self.rob.is_empty()
+            && self.wbuf.is_empty()
+            && self.incomplete.is_empty()
+    }
+
+    /// Runs until the trace finishes or `max_cycles` elapse.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::CycleLimit`] if the limit is hit first.
+    pub fn run(&mut self, max_cycles: u64) -> Result<RunStats, CoreError> {
+        while !self.finished() {
+            if self.now >= max_cycles {
+                return Err(CoreError::CycleLimit {
+                    at: self.now,
+                    retired: self.retired,
+                });
+            }
+            self.tick();
+        }
+        Ok(RunStats {
+            cycles: self.now,
+            retired: self.retired,
+            issue_hist: self.issue_hist.clone(),
+            timings: self.slots.iter().map(|s| s.timing).collect(),
+            squashes: self.squashes,
+            stalls: self.stalls,
+        })
+    }
+
+    /// Consumes the core, returning the memory system (for persist-trace
+    /// extraction).
+    pub fn into_mem(self) -> M {
+        self.mem
+    }
+
+    /// The memory system.
+    pub fn mem(&self) -> &M {
+        &self.mem
+    }
+
+    /// Advances the machine one cycle.
+    pub fn tick(&mut self) {
+        self.now += 1;
+
+        self.handle_mem_responses();
+        self.handle_fu_completions();
+        self.check_dmb_sy();
+        self.retire_stage();
+        self.write_buffer_stage();
+        let issued = self.issue_stage();
+        self.issue_hist.record(issued);
+        self.dispatch_stage();
+        self.fetch_stage();
+    }
+
+    // ---- completion plumbing --------------------------------------------
+
+    fn complete_inst(&mut self, id: InstId) {
+        let slot = &mut self.slots[id.index()];
+        if slot.state == State::Complete {
+            return;
+        }
+        slot.state = State::Complete;
+        slot.timing.complete = self.now;
+        // Control instructions and fences have no observable effect other
+        // than the ordering they impose, which binds at completion: under
+        // WB enforcement they execute early but take effect at the write
+        // buffer / retire.
+        if matches!(
+            self.program[id].kind(),
+            InstKind::EdeControl | InstKind::FenceFull | InstKind::FenceStore | InstKind::FenceMem
+        ) {
+            self.slots[id.index()].timing.effect = self.now;
+        }
+        self.emit(id, PipeStage::Complete);
+        self.incomplete.remove(&id);
+        self.incomplete_mem.remove(&id);
+
+        let inst = self.program[id].clone();
+        self.edm.complete(id);
+        self.tracker.complete(&inst, id);
+        self.wbuf.clear_src(id);
+
+        match inst.op {
+            Op::Str { addr, .. } => self.unmap_store(addr, id),
+            Op::Stp { addr, .. } => {
+                self.unmap_store(addr, id);
+                self.unmap_store(addr + 8, id);
+            }
+            Op::DmbSy => {
+                self.live_dmbs.remove(&id);
+            }
+            Op::DmbSt => {
+                self.live_stbars.remove(&id);
+            }
+            Op::WaitAllKeys => {
+                self.live_wait_alls.remove(&id);
+            }
+            _ => {}
+        }
+        if matches!(inst.kind(), InstKind::Store) {
+            self.incomplete_stores.remove(&id);
+        }
+
+        // Wake IQ-mode execution-dependence waiters.
+        if let Some(waiters) = self.edep_waiters.remove(&id) {
+            for (w, epoch) in waiters {
+                let ws = &mut self.slots[w.index()];
+                if ws.epoch == epoch && ws.edep_pending > 0 {
+                    ws.edep_pending -= 1;
+                }
+            }
+        }
+    }
+
+    fn unmap_store(&mut self, addr: u64, id: InstId) {
+        if let Some(v) = self.store_map.get_mut(&addr) {
+            v.retain(|&s| s != id);
+            if v.is_empty() {
+                self.store_map.remove(&addr);
+            }
+        }
+    }
+
+    fn handle_mem_responses(&mut self) {
+        let resps = self.mem.tick(self.now);
+        for resp in resps {
+            let Some((id, epoch)) = self.req_map.remove(&resp.id) else {
+                continue;
+            };
+            if self.slots[id.index()].epoch != epoch {
+                continue; // stale response for a squashed instruction
+            }
+            match self.inst(id).kind() {
+                InstKind::Load => {
+                    self.mark_executed(id);
+                    self.complete_inst(id);
+                }
+                InstKind::Store | InstKind::Writeback => {
+                    self.wbuf.complete(id);
+                    self.complete_inst(id);
+                }
+                _ => unreachable!("only memory ops have requests"),
+            }
+        }
+    }
+
+    fn mark_executed(&mut self, id: InstId) {
+        let slot = &mut self.slots[id.index()];
+        if slot.state >= State::Executed {
+            return;
+        }
+        slot.state = State::Executed;
+        self.emit(id, PipeStage::Executed);
+        if let Some(waiters) = self.reg_waiters.remove(&id) {
+            for (w, epoch) in waiters {
+                let ws = &mut self.slots[w.index()];
+                if ws.epoch == epoch && ws.pending_regs > 0 {
+                    ws.pending_regs -= 1;
+                }
+            }
+        }
+    }
+
+    fn handle_fu_completions(&mut self) {
+        while let Some(&Reverse((cycle, raw, epoch))) = self.fu_done.peek() {
+            if cycle > self.now {
+                break;
+            }
+            self.fu_done.pop();
+            let id = InstId(raw);
+            if self.slots[id.index()].epoch != epoch {
+                continue;
+            }
+            self.mark_executed(id);
+            let inst = self.inst(id).clone();
+            // Hardware without the WB structures — including non-EDE
+            // hardware running EDE code — enforces conservatively at the
+            // issue queue.
+            let iq_mode = self.cfg.enforcement != Some(EnforcementPoint::WriteBuffer);
+            match inst.op {
+                Op::Mov { .. } | Op::Add { .. } | Op::Cmp { .. } | Op::Nop => {
+                    self.slots[id.index()].timing.effect = self.now;
+                    self.complete_inst(id);
+                }
+                Op::Ldr { .. } => {
+                    // Forwarded load (memory loads complete via responses).
+                    self.complete_inst(id);
+                }
+                Op::Branch { mispredicted } => {
+                    self.slots[id.index()].timing.effect = self.now;
+                    self.complete_inst(id);
+                    if mispredicted {
+                        self.squash(id);
+                    } else {
+                        self.edm_checkpoints.retain(|&(b, _)| b != id);
+                    }
+                }
+                Op::Join { .. } | Op::WaitKey { .. } | Op::WaitAllKeys => {
+                    // Under IQ enforcement the condition held at issue, so
+                    // the control instruction completes at writeback; under
+                    // WB enforcement completion happens later (write
+                    // buffer / retire).
+                    self.slots[id.index()].timing.effect = self.now;
+                    if iq_mode || self.cfg.enforcement.is_none() {
+                        self.complete_inst(id);
+                    }
+                }
+                Op::DmbSy | Op::DmbSt | Op::DsbSy => {
+                    // Fences complete via their own conditions.
+                    self.slots[id.index()].timing.effect = self.now;
+                }
+                Op::Str { .. } | Op::Stp { .. } | Op::DcCvap { .. } => {
+                    // Stores/writebacks complete when drained/acked.
+                }
+            }
+        }
+    }
+
+    fn check_dmb_sy(&mut self) {
+        let ready: Vec<InstId> = self
+            .live_dmbs
+            .iter()
+            .copied()
+            .filter(|&d| {
+                self.slots[d.index()].state >= State::Executed
+                    && self.incomplete_mem.range(..d).next().is_none()
+            })
+            .collect();
+        for d in ready {
+            self.complete_inst(d);
+        }
+        // DMB ST completes when every older store is globally visible.
+        let ready: Vec<InstId> = self
+            .live_stbars
+            .iter()
+            .copied()
+            .filter(|&d| {
+                self.slots[d.index()].state >= State::Executed
+                    && self.incomplete_stores.range(..d).next().is_none()
+            })
+            .collect();
+        for d in ready {
+            self.complete_inst(d);
+        }
+    }
+
+    // ---- retire ----------------------------------------------------------
+
+    fn retire_stage(&mut self) {
+        let wb_mode = self.cfg.enforcement == Some(EnforcementPoint::WriteBuffer);
+        for _ in 0..self.cfg.retire_width {
+            let Some(&id) = self.rob.front() else {
+                break;
+            };
+            let state = self.slots[id.index()].state;
+            if state < State::Executed {
+                break;
+            }
+            let inst = self.inst(id).clone();
+            match inst.op {
+                Op::DsbSy => {
+                    // All older instructions must have completed,
+                    // including store drains and persist acks.
+                    if self.incomplete.range(..id).next().is_some() {
+                        break;
+                    }
+                    self.rob.pop_front();
+                    self.retire_edm(&inst, id);
+                    self.complete_inst(id);
+                    if self.dispatch_block == Some(id) {
+                        self.dispatch_block = None;
+                    }
+                }
+                Op::WaitKey { key } if wb_mode => {
+                    if self.tracker.has_producer_before(key, id) {
+                        break;
+                    }
+                    self.rob.pop_front();
+                    self.retire_edm(&inst, id);
+                    self.complete_inst(id);
+                }
+                Op::WaitAllKeys if wb_mode => {
+                    if self.tracker.has_any_before(id) {
+                        break;
+                    }
+                    self.rob.pop_front();
+                    self.retire_edm(&inst, id);
+                    self.complete_inst(id);
+                }
+                Op::Str { addr, value, .. } => {
+                    if !self.wbuf.has_space() {
+                        break;
+                    }
+                    self.rob.pop_front();
+                    self.sq_used -= 1;
+                    self.retire_edm(&inst, id);
+                    let srcs = self.wb_srcs(id, wb_mode);
+                    self.wbuf.push(
+                        id,
+                        WbKind::Store {
+                            addr,
+                            width: 8,
+                            value: [value, 0],
+                        },
+                        srcs,
+                    );
+                    self.slots[id.index()].state = State::Retired;
+                }
+                Op::Stp { addr, values, .. } => {
+                    if !self.wbuf.has_space() {
+                        break;
+                    }
+                    self.rob.pop_front();
+                    self.sq_used -= 1;
+                    self.retire_edm(&inst, id);
+                    let srcs = self.wb_srcs(id, wb_mode);
+                    self.wbuf.push(
+                        id,
+                        WbKind::Store {
+                            addr,
+                            width: 16,
+                            value: values,
+                        },
+                        srcs,
+                    );
+                    self.slots[id.index()].state = State::Retired;
+                }
+                Op::DcCvap { addr, .. } => {
+                    if !self.wbuf.has_space() {
+                        break;
+                    }
+                    self.rob.pop_front();
+                    self.sq_used -= 1;
+                    self.retire_edm(&inst, id);
+                    let srcs = self.wb_srcs(id, wb_mode);
+                    self.wbuf.push(id, WbKind::Cvap { addr }, srcs);
+                    self.slots[id.index()].state = State::Retired;
+                }
+                Op::Join { .. } if wb_mode => {
+                    if !self.wbuf.has_space() {
+                        break;
+                    }
+                    self.rob.pop_front();
+                    self.retire_edm(&inst, id);
+                    let srcs = self.wb_srcs(id, true);
+                    self.wbuf.push(id, WbKind::Join, srcs);
+                    self.slots[id.index()].state = State::Retired;
+                }
+                _ => {
+                    self.rob.pop_front();
+                    self.retire_edm(&inst, id);
+                    if inst.kind() == InstKind::Load {
+                        self.lq_used -= 1;
+                    }
+                    let slot = &mut self.slots[id.index()];
+                    if slot.state < State::Retired {
+                        slot.state = State::Retired;
+                    }
+                }
+            }
+            self.retired += 1;
+            self.emit(id, PipeStage::Retire);
+        }
+    }
+
+    /// Replays a retiring instruction's key definition onto the
+    /// non-speculative EDM — unless it already completed (a completed
+    /// producer imposes no dependence, so resurrecting its binding would
+    /// leave a stale entry behind a squash).
+    fn retire_edm(&mut self, inst: &Inst, id: InstId) {
+        if self.slots[id.index()].state < State::Complete {
+            self.edm.retire(inst, id);
+        }
+    }
+
+    /// The srcID tags an entry carries into the write buffer: only
+    /// producers that are still incomplete (the paper's CAM check at
+    /// deposit time).
+    fn wb_srcs(&self, id: InstId, wb_mode: bool) -> [Option<InstId>; 2] {
+        if !wb_mode {
+            return [None, None];
+        }
+        let slot = &self.slots[id.index()];
+        let mut out = [None, None];
+        for (i, src) in slot.edep_srcs.iter().enumerate() {
+            if let Some(s) = src {
+                if self.incomplete.contains(s) {
+                    out[i] = Some(*s);
+                }
+            }
+        }
+        out
+    }
+
+    // ---- write buffer ----------------------------------------------------
+
+    fn write_buffer_stage(&mut self) {
+        for id in self.wbuf.take_finished_controls() {
+            self.complete_inst(id);
+        }
+        let line = 64;
+        let mut drained = 0;
+        for id in self.wbuf.drainable(line) {
+            if drained >= self.cfg.wb_drain_per_cycle || !self.mem.can_accept() {
+                break;
+            }
+            let entry = self
+                .wbuf
+                .entries()
+                .iter()
+                .find(|e| e.id == id)
+                .copied()
+                .expect("drainable entry exists");
+            let (kind, addr) = match entry.kind {
+                WbKind::Store { addr, width, value } => {
+                    (ReqKind::StoreDrain { value, width }, addr)
+                }
+                WbKind::Cvap { addr } => (ReqKind::Cvap, addr),
+                _ => continue,
+            };
+            let Some(req) = self.mem.try_access(kind, addr, self.now) else {
+                break;
+            };
+            self.wbuf.mark_draining(id);
+            self.req_map
+                .insert(req, (id, self.slots[id.index()].epoch));
+            self.slots[id.index()].timing.effect = self.now;
+            self.emit(id, PipeStage::Drain);
+            drained += 1;
+        }
+    }
+
+    // ---- issue -----------------------------------------------------------
+
+    fn issue_stage(&mut self) -> usize {
+        let iq_mode = self.cfg.enforcement != Some(EnforcementPoint::WriteBuffer);
+        let mut issued = 0;
+        let mut i = 0;
+        while i < self.iq.len() && issued < self.cfg.issue_width {
+            let id = self.iq[i];
+            if self.try_issue(id, iq_mode) {
+                self.iq.remove(i);
+                self.emit(id, PipeStage::Issue);
+                issued += 1;
+            } else {
+                i += 1;
+            }
+        }
+        issued
+    }
+
+    /// Attempts to issue one instruction; returns whether it left the IQ.
+    fn try_issue(&mut self, id: InstId, iq_mode: bool) -> bool {
+        let slot = &self.slots[id.index()];
+        if slot.state != State::InIq || slot.pending_regs > 0 {
+            return false;
+        }
+        let inst = self.inst(id).clone();
+        let kind = inst.kind();
+
+        // DMB SY: younger memory operations wait at issue.
+        if Self::is_mem_op(kind) && self.live_dmbs.range(..id).next().is_some() {
+            return false;
+        }
+
+        match inst.op {
+            Op::Ldr { addr, .. } => {
+                // DMB ST is an LSQ barrier (gem5 semantics): younger
+                // memory instructions — loads included — wait until it
+                // completes. Only DC CVAP sails past it (SU's unsafety).
+                if self.live_stbars.range(..id).next().is_some() {
+                    return false;
+                }
+                // EDE consumer loads block at issue under both policies
+                // (the §VIII-C extension: loads have no write-buffer stage
+                // to defer to).
+                if slot.edep_pending > 0 {
+                    return false;
+                }
+                // Store-to-load handling against in-flight stores.
+                if let Some(&producer) = self
+                    .store_map
+                    .get(&addr)
+                    .and_then(|v| v.iter().rev().find(|&&s| s < id))
+                {
+                    if self.slots[producer.index()].state >= State::Executed {
+                        // Forward from the store queue / write buffer.
+                        self.slots[id.index()].state = State::Executing;
+                        self.slots[id.index()].timing.effect = self.now;
+                        self.fu_done.push(Reverse((
+                            self.now + 2,
+                            id.0,
+                            self.slots[id.index()].epoch,
+                        )));
+                        return true;
+                    }
+                    return false; // store data not ready yet
+                }
+                if !self.mem.can_accept() {
+                    return false;
+                }
+                let req = self
+                    .mem
+                    .try_access(ReqKind::Load, addr, self.now)
+                    .expect("can_accept checked");
+                let slot = &mut self.slots[id.index()];
+                slot.state = State::WaitMem;
+                slot.timing.effect = self.now;
+                self.req_map.insert(req, (id, slot.epoch));
+                true
+            }
+            Op::Str { .. } | Op::Stp { .. } => {
+                // DMB ST: younger stores wait for older stores to become
+                // visible (the gem5 LSQ-barrier behavior; DC CVAP is *not*
+                // ordered — SU's unsafety).
+                if self.live_stbars.range(..id).next().is_some() {
+                    return false;
+                }
+                if iq_mode && slot.edep_pending > 0 {
+                    return false;
+                }
+                self.execute_simple(id)
+            }
+            Op::DcCvap { .. } => {
+                // The LSQ barrier delays a younger CVAP's *issue* like any
+                // memory op, but never its persist completion — ordering
+                // of the persist itself is exactly what DMB ST lacks.
+                if self.live_stbars.range(..id).next().is_some() {
+                    return false;
+                }
+                if iq_mode && slot.edep_pending > 0 {
+                    return false;
+                }
+                self.execute_simple(id)
+            }
+            Op::Join { .. } => {
+                if iq_mode && slot.edep_pending > 0 {
+                    return false;
+                }
+                self.execute_simple(id)
+            }
+            Op::WaitKey { key } => {
+                if iq_mode && self.tracker.has_producer_before(key, id) {
+                    return false;
+                }
+                self.execute_simple(id)
+            }
+            Op::WaitAllKeys => {
+                if iq_mode && self.tracker.has_any_before(id) {
+                    return false;
+                }
+                self.execute_simple(id)
+            }
+            _ => self.execute_simple(id),
+        }
+    }
+
+    fn execute_simple(&mut self, id: InstId) -> bool {
+        let slot = &mut self.slots[id.index()];
+        slot.state = State::Executing;
+        self.fu_done
+            .push(Reverse((self.now + 1, id.0, slot.epoch)));
+        true
+    }
+
+    // ---- dispatch ---------------------------------------------------------
+
+    fn dispatch_stage(&mut self) {
+        let enforcement = self.cfg.enforcement;
+        let mut dispatched = 0;
+        for _ in 0..self.cfg.decode_width {
+            if self.dispatch_block.is_some() {
+                if dispatched == 0 {
+                    self.stalls.dsb += 1;
+                }
+                break;
+            }
+            let Some(&id) = self.fetch_q.front() else {
+                if dispatched == 0 && self.fetch_ptr < self.program.len() {
+                    self.stalls.frontend += 1;
+                }
+                break;
+            };
+            if self.rob.len() >= self.cfg.rob_entries {
+                if dispatched == 0 {
+                    self.stalls.rob += 1;
+                }
+                break;
+            }
+            if self.iq.len() >= self.cfg.iq_entries {
+                if dispatched == 0 {
+                    self.stalls.iq += 1;
+                }
+                break;
+            }
+            let inst = self.inst(id).clone();
+            let kind = inst.kind();
+            match kind {
+                InstKind::Load if self.lq_used >= self.cfg.lq_entries => {
+                    if dispatched == 0 {
+                        self.stalls.lsq += 1;
+                    }
+                    break;
+                }
+                InstKind::Store | InstKind::Writeback if self.sq_used >= self.cfg.sq_entries => {
+                    if dispatched == 0 {
+                        self.stalls.lsq += 1;
+                    }
+                    break;
+                }
+                _ => {}
+            }
+            dispatched += 1;
+            self.fetch_q.pop_front();
+
+            // Reset the slot for (re)dispatch.
+            {
+                let slot = &mut self.slots[id.index()];
+                slot.epoch = slot.epoch.wrapping_add(1);
+                slot.state = State::InIq;
+                slot.pending_regs = 0;
+                slot.edep_pending = 0;
+                slot.edep_srcs = [None, None];
+            }
+            let epoch = self.slots[id.index()].epoch;
+
+            // Register renaming: capture current producers.
+            for src in inst.src_regs() {
+                if let Some(&p) = self.scoreboard.get(&src) {
+                    if self.slots[p.index()].state < State::Executed {
+                        self.slots[id.index()].pending_regs += 1;
+                        self.reg_waiters.entry(p).or_default().push((id, epoch));
+                    }
+                }
+            }
+            if let Some(dst) = inst.dst_reg() {
+                self.scoreboard.insert(dst, id);
+            }
+
+            // EDM access (§V-A): find consumed dependences, record
+            // produced key.
+            let deps = self.edm.decode(&inst, id);
+            let mut srcs: Vec<InstId> = deps
+                .sources()
+                .into_iter()
+                .filter(|s| self.incomplete.contains(s))
+                .collect();
+            // An incomplete older WAIT_ALL_KEYS blocks younger consumers.
+            if inst.is_edk_consumer() && !matches!(inst.op, Op::WaitKey { .. } | Op::WaitAllKeys) {
+                if let Some(&w) = self.live_wait_alls.range(..id).next_back() {
+                    let issue_blocked = match enforcement {
+                        Some(EnforcementPoint::IssueQueue) | None => true,
+                        // Under WB, stores are held by the WAIT's retire
+                        // blocking; consumer loads still need the link.
+                        Some(EnforcementPoint::WriteBuffer) => kind == InstKind::Load,
+                    };
+                    if issue_blocked && !srcs.contains(&w) && srcs.len() < 2 {
+                        srcs.push(w);
+                    }
+                }
+            }
+            {
+                let slot = &mut self.slots[id.index()];
+                for (i, s) in srcs.iter().take(2).enumerate() {
+                    slot.edep_srcs[i] = Some(*s);
+                }
+            }
+            // Issue-time blocking applies under IQ for everything, and for
+            // loads under WB.
+            let blocks_at_issue = match enforcement {
+                Some(EnforcementPoint::IssueQueue) | None => true,
+                Some(EnforcementPoint::WriteBuffer) => kind == InstKind::Load,
+            };
+            if blocks_at_issue {
+                for s in srcs.iter().take(2) {
+                    self.slots[id.index()].edep_pending += 1;
+                    self.edep_waiters.entry(*s).or_default().push((id, epoch));
+                }
+            }
+
+            if inst.is_ede() {
+                self.tracker.insert(&inst, id);
+            }
+            self.incomplete.insert(id);
+            if Self::is_mem_op(kind) {
+                self.incomplete_mem.insert(id);
+            }
+            match inst.op {
+                Op::DmbSy => {
+                    self.live_dmbs.insert(id);
+                }
+                Op::DmbSt => {
+                    self.live_stbars.insert(id);
+                }
+                Op::WaitAllKeys => {
+                    self.live_wait_alls.insert(id);
+                }
+                Op::DsbSy => {
+                    self.dispatch_block = Some(id);
+                }
+                Op::Str { addr, .. } => {
+                    self.store_map.entry(addr).or_default().push(id);
+                }
+                Op::Stp { addr, .. } => {
+                    self.store_map.entry(addr).or_default().push(id);
+                    self.store_map.entry(addr + 8).or_default().push(id);
+                }
+                _ => {}
+            }
+            if kind == InstKind::Store {
+                self.incomplete_stores.insert(id);
+            }
+            match kind {
+                InstKind::Load => self.lq_used += 1,
+                InstKind::Store | InstKind::Writeback => self.sq_used += 1,
+                _ => {}
+            }
+
+            if self.cfg.edm_branch_checkpoints && kind == InstKind::Branch {
+                self.edm_checkpoints.push((id, self.edm.checkpoint()));
+            }
+
+            self.rob.push_back(id);
+            self.iq.push(id);
+            self.emit(id, PipeStage::Dispatch);
+        }
+    }
+
+    // ---- fetch & squash ---------------------------------------------------
+
+    fn fetch_stage(&mut self) {
+        if self.now < self.fetch_resume {
+            return;
+        }
+        let cap = self.cfg.fetch_width * 2;
+        let mut fetched = 0;
+        while fetched < self.cfg.fetch_width
+            && self.fetch_q.len() < cap
+            && self.fetch_ptr < self.program.len()
+        {
+            self.fetch_q.push_back(InstId(self.fetch_ptr as u64));
+            self.fetch_ptr += 1;
+            fetched += 1;
+        }
+    }
+
+    fn squash(&mut self, branch: InstId) {
+        self.squashes += 1;
+        // Remove every younger instruction from the back of the ROB.
+        while let Some(&id) = self.rob.back() {
+            if id <= branch {
+                break;
+            }
+            self.rob.pop_back();
+            let inst = self.inst(id).clone();
+            let kind = inst.kind();
+            match kind {
+                InstKind::Load => self.lq_used -= 1,
+                InstKind::Store | InstKind::Writeback => self.sq_used -= 1,
+                _ => {}
+            }
+            match inst.op {
+                Op::Str { addr, .. } => self.unmap_store(addr, id),
+                Op::Stp { addr, .. } => {
+                    self.unmap_store(addr, id);
+                    self.unmap_store(addr + 8, id);
+                }
+                Op::DmbSy => {
+                    self.live_dmbs.remove(&id);
+                }
+                Op::DmbSt => {
+                    self.live_stbars.remove(&id);
+                }
+                Op::WaitAllKeys => {
+                    self.live_wait_alls.remove(&id);
+                }
+                _ => {}
+            }
+            self.incomplete.remove(&id);
+            self.incomplete_mem.remove(&id);
+            self.incomplete_stores.remove(&id);
+            let slot = &mut self.slots[id.index()];
+            slot.state = State::NotDispatched;
+            // Invalidate in-flight FU/memory events for the squashed
+            // incarnation immediately (not only at re-dispatch).
+            slot.epoch = slot.epoch.wrapping_add(1);
+            self.emit(id, PipeStage::Squash);
+        }
+        self.iq.retain(|&i| i <= branch);
+        self.fetch_q.clear();
+        self.scoreboard.retain(|_, &mut p| p <= branch);
+        let checkpoint = if self.cfg.edm_branch_checkpoints {
+            let found = self
+                .edm_checkpoints
+                .iter()
+                .find(|&&(b, _)| b == branch)
+                .map(|(_, cp)| cp.clone());
+            self.edm_checkpoints.retain(|&(b, _)| b < branch);
+            found
+        } else {
+            None
+        };
+        match checkpoint {
+            Some(cp) => {
+                // §V-A1's multi-checkpoint variant: restore the
+                // speculative map captured at the branch, then clear
+                // producers that completed while it was live.
+                self.edm.restore(cp);
+                let incomplete = &self.incomplete;
+                self.edm.retain_spec(|id| incomplete.contains(&id));
+            }
+            None => {
+                self.edm.squash();
+                // Repair: older un-retired producers live in the ROB but
+                // not in the non-speculative map; replay their key
+                // definitions in order.
+                for idx in 0..self.rob.len() {
+                    let id = self.rob[idx];
+                    if self.slots[id.index()].state < State::Complete {
+                        let inst = self.program[id].clone();
+                        self.edm.replay_spec(&inst, id);
+                    }
+                }
+            }
+        }
+        self.tracker.squash_younger(branch);
+        if matches!(self.dispatch_block, Some(d) if d > branch) {
+            self.dispatch_block = None;
+        }
+        self.fetch_ptr = (branch.0 + 1) as usize;
+        self.fetch_resume = self.now + self.cfg.mispredict_penalty;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::port::FixedLatencyMem;
+    use ede_isa::{Edk, TraceBuilder};
+
+    const LOAD_LAT: u64 = 10;
+    const ACK_LAT: u64 = 50;
+
+    fn run_trace(program: Program, enforcement: Option<EnforcementPoint>) -> RunStats {
+        let mut cfg = CpuConfig::a72();
+        cfg.enforcement = enforcement;
+        let mem = FixedLatencyMem::new(LOAD_LAT, ACK_LAT);
+        let mut core = Core::new(cfg, program, mem);
+        core.run(1_000_000).expect("trace terminates")
+    }
+
+    fn check_exec_deps(program: &Program, stats: &RunStats) {
+        let v = ede_core::ordering::check_execution_deps(program, &stats.timings);
+        assert!(v.is_empty(), "execution-dependence violations: {v:?}");
+    }
+
+    #[test]
+    fn empty_program_finishes_immediately() {
+        let stats = run_trace(Program::new(), None);
+        assert_eq!(stats.retired, 0);
+    }
+
+    #[test]
+    fn alu_chain_serializes() {
+        let mut b = TraceBuilder::new();
+        b.compute_chain(10);
+        let stats = run_trace(b.finish(), None);
+        assert_eq!(stats.retired, 10);
+        // A serial chain takes at least one cycle per instruction.
+        assert!(stats.cycles >= 10);
+    }
+
+    #[test]
+    fn independent_alus_issue_in_parallel() {
+        let mut b = TraceBuilder::new();
+        for i in 0..30 {
+            b.mov_imm(i);
+        }
+        let stats = run_trace(b.finish(), None);
+        assert_eq!(stats.retired, 30);
+        // 3-wide decode bounds the rate; must still beat fully serial.
+        assert!(stats.cycles < 30, "took {} cycles", stats.cycles);
+    }
+
+    #[test]
+    fn load_latency_observed() {
+        let mut b = TraceBuilder::new();
+        let r = b.load(0x40, 7);
+        let _ = r;
+        let stats = run_trace(b.finish(), None);
+        assert!(stats.cycles >= LOAD_LAT);
+    }
+
+    #[test]
+    fn store_completes_after_drain() {
+        let mut b = TraceBuilder::new();
+        b.store(0x40, 7);
+        let p = b.finish();
+        let stats = run_trace(p.clone(), None);
+        let str_timing = stats.timings[2];
+        assert!(str_timing.complete >= str_timing.effect + LOAD_LAT);
+    }
+
+    #[test]
+    fn dsb_waits_for_persist_ack() {
+        // str; cvap; dsb; mov — the mov retires only after the ack.
+        let mut b = TraceBuilder::new();
+        b.store(0x40, 7);
+        b.cvap(0x40);
+        b.dsb_sy();
+        b.mov_imm(1);
+        let p = b.finish();
+        let stats = run_trace(p.clone(), None);
+        let cvap_idx = p
+            .iter()
+            .find(|(_, i)| i.kind() == InstKind::Writeback)
+            .unwrap()
+            .0;
+        let mov_idx = InstId(p.len() as u64 - 1);
+        let cvap_complete = stats.timings[cvap_idx.index()].complete;
+        let mov_effect = stats.timings[mov_idx.index()].effect;
+        assert!(
+            mov_effect >= cvap_complete,
+            "mov executed at {mov_effect}, before cvap ack at {cvap_complete}"
+        );
+        // And the ack carried the full cvap latency.
+        assert!(cvap_complete >= ACK_LAT);
+    }
+
+    #[test]
+    fn without_dsb_younger_alu_overlaps_persist() {
+        let mut b = TraceBuilder::new();
+        b.store(0x40, 7);
+        b.cvap(0x40);
+        b.mov_imm(1);
+        let p = b.finish();
+        let stats = run_trace(p.clone(), None);
+        let cvap_idx = p
+            .iter()
+            .find(|(_, i)| i.kind() == InstKind::Writeback)
+            .unwrap()
+            .0;
+        let mov_idx = InstId(p.len() as u64 - 1);
+        assert!(
+            stats.timings[mov_idx.index()].effect < stats.timings[cvap_idx.index()].complete,
+            "mov should not wait for the persist ack"
+        );
+    }
+
+    fn two_update_trace(arch_ede: bool, fence: bool) -> Program {
+        // Two independent log-persist → data-store pairs (the Figure 8
+        // pattern), either fenced, EDE-linked, or unordered.
+        let mut b = TraceBuilder::new();
+        for i in 0..2u64 {
+            let log = 0x1000 + i * 0x400;
+            let data = 0x2000 + i * 0x400;
+            if arch_ede {
+                let k = Edk::new((i + 1) as u8).unwrap();
+                b.cvap_producing(log, k);
+                b.store_consuming(data, 7, k);
+                b.cvap(data);
+            } else {
+                b.cvap(log);
+                if fence {
+                    b.dsb_sy();
+                }
+                b.store(data, 7);
+                b.cvap(data);
+            }
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn ede_iq_faster_than_dsb_and_honors_deps() {
+        let fenced = run_trace(two_update_trace(false, true), None);
+        let iq_prog = two_update_trace(true, false);
+        let iq = run_trace(iq_prog.clone(), Some(EnforcementPoint::IssueQueue));
+        check_exec_deps(&iq_prog, &iq);
+        assert!(
+            iq.cycles < fenced.cycles,
+            "IQ {} !< fenced {}",
+            iq.cycles,
+            fenced.cycles
+        );
+    }
+
+    #[test]
+    fn ede_wb_at_least_as_fast_as_iq_and_honors_deps() {
+        let prog = two_update_trace(true, false);
+        let iq = run_trace(prog.clone(), Some(EnforcementPoint::IssueQueue));
+        let wb = run_trace(prog.clone(), Some(EnforcementPoint::WriteBuffer));
+        check_exec_deps(&prog, &wb);
+        assert!(
+            wb.cycles <= iq.cycles,
+            "WB {} > IQ {}",
+            wb.cycles,
+            iq.cycles
+        );
+    }
+
+    #[test]
+    fn unsafe_config_fastest() {
+        let unordered = run_trace(two_update_trace(false, false), None);
+        let fenced = run_trace(two_update_trace(false, true), None);
+        assert!(unordered.cycles < fenced.cycles);
+    }
+
+    #[test]
+    fn iq_consumer_waits_for_producer_ack() {
+        let mut b = TraceBuilder::new();
+        let k = Edk::new(1).unwrap();
+        b.cvap_producing(0x40, k);
+        b.store_consuming(0x1040, 7, k);
+        let p = b.finish();
+        let stats = run_trace(p.clone(), Some(EnforcementPoint::IssueQueue));
+        check_exec_deps(&p, &stats);
+    }
+
+    #[test]
+    fn wb_consumer_retires_early_but_drains_late() {
+        let mut b = TraceBuilder::new();
+        let k = Edk::new(1).unwrap();
+        b.cvap_producing(0x40, k);
+        b.store_consuming(0x1040, 7, k);
+        let p = b.finish();
+        let stats = run_trace(p.clone(), Some(EnforcementPoint::WriteBuffer));
+        check_exec_deps(&p, &stats);
+        // The consumer's drain (effect) must follow the producer ack.
+        let cvap = p
+            .iter()
+            .find(|(_, i)| i.kind() == InstKind::Writeback)
+            .unwrap()
+            .0;
+        let store = p
+            .iter()
+            .find(|(_, i)| i.kind() == InstKind::Store)
+            .unwrap()
+            .0;
+        assert!(
+            stats.timings[store.index()].effect >= stats.timings[cvap.index()].complete
+        );
+    }
+
+    #[test]
+    fn join_waits_for_both_producers() {
+        let mut b = TraceBuilder::new();
+        let k1 = Edk::new(1).unwrap();
+        let k2 = Edk::new(2).unwrap();
+        let k3 = Edk::new(3).unwrap();
+        b.cvap_producing(0x40, k1);
+        b.cvap_producing(0x1040, k2);
+        b.join(k3, k1, k2);
+        b.store_consuming(0x2040, 9, k3);
+        let p = b.finish();
+        for point in [EnforcementPoint::IssueQueue, EnforcementPoint::WriteBuffer] {
+            let stats = run_trace(p.clone(), Some(point));
+            check_exec_deps(&p, &stats);
+        }
+    }
+
+    #[test]
+    fn wait_key_orders_after_all_producers_of_key() {
+        let mut b = TraceBuilder::new();
+        let k = Edk::new(4).unwrap();
+        b.cvap_producing(0x40, k);
+        b.cvap_producing(0x1040, k);
+        b.wait_key(k);
+        b.store_consuming(0x2040, 9, k);
+        let p = b.finish();
+        for point in [EnforcementPoint::IssueQueue, EnforcementPoint::WriteBuffer] {
+            let stats = run_trace(p.clone(), Some(point));
+            check_exec_deps(&p, &stats);
+        }
+    }
+
+    #[test]
+    fn wait_all_keys_orders_everything() {
+        let mut b = TraceBuilder::new();
+        let k1 = Edk::new(1).unwrap();
+        let k2 = Edk::new(2).unwrap();
+        b.cvap_producing(0x40, k1);
+        b.cvap_producing(0x1040, k2);
+        b.wait_all_keys();
+        b.store_consuming(0x2040, 9, k1);
+        let p = b.finish();
+        for point in [EnforcementPoint::IssueQueue, EnforcementPoint::WriteBuffer] {
+            let stats = run_trace(p.clone(), Some(point));
+            check_exec_deps(&p, &stats);
+        }
+    }
+
+    #[test]
+    fn mispredicted_branch_squashes_and_recovers() {
+        let mut b = TraceBuilder::new();
+        let l = b.mov_imm(1);
+        let r = b.mov_imm(2);
+        b.cmp_branch(l, r, true);
+        for i in 0..10 {
+            b.mov_imm(i);
+        }
+        let p = b.finish();
+        let stats = run_trace(p.clone(), None);
+        assert_eq!(stats.squashes, 1);
+        assert_eq!(stats.retired, p.len() as u64);
+        // The refetch penalty must be visible.
+        assert!(stats.cycles > 15);
+    }
+
+    #[test]
+    fn squash_restores_edm() {
+        // Producer before the branch; consumer after. The squash must not
+        // lose the link (non-speculative EDM preserves retired producers;
+        // un-retired ones are re-decoded on refetch).
+        let mut b = TraceBuilder::new();
+        let k = Edk::new(1).unwrap();
+        b.cvap_producing(0x40, k);
+        let l = b.mov_imm(1);
+        let r = b.mov_imm(2);
+        b.cmp_branch(l, r, true);
+        b.store_consuming(0x1040, 7, k);
+        let p = b.finish();
+        for point in [EnforcementPoint::IssueQueue, EnforcementPoint::WriteBuffer] {
+            let stats = run_trace(p.clone(), Some(point));
+            assert_eq!(stats.squashes, 1);
+            check_exec_deps(&p, &stats);
+        }
+    }
+
+    #[test]
+    fn dmb_st_orders_store_visibility() {
+        let mut b = TraceBuilder::new();
+        b.store(0x40, 1);
+        b.dmb_st();
+        b.store(0x1040, 2);
+        let p = b.finish();
+        let stats = run_trace(p.clone(), None);
+        let first = p.iter().filter(|(_, i)| i.kind() == InstKind::Store).map(|(i, _)| i).next().unwrap();
+        let second = p.iter().filter(|(_, i)| i.kind() == InstKind::Store).map(|(i, _)| i).nth(1).unwrap();
+        assert!(
+            stats.timings[second.index()].effect
+                >= stats.timings[first.index()].complete,
+            "younger store drained before older completed"
+        );
+    }
+
+    #[test]
+    fn dmb_st_does_not_order_cvap() {
+        // The SU unsafety: a cvap after a DMB ST may drain before older
+        // stores complete.
+        let mut b = TraceBuilder::new();
+        b.store(0x40, 1);
+        b.cvap(0x40);
+        b.dmb_st();
+        b.store(0x1040, 2);
+        b.cvap(0x1040);
+        let p = b.finish();
+        let stats = run_trace(p.clone(), None);
+        assert_eq!(stats.retired, p.len() as u64);
+    }
+
+    #[test]
+    fn dmb_sy_orders_memory_ops() {
+        let mut b = TraceBuilder::new();
+        b.store(0x40, 1);
+        b.dmb_sy();
+        b.load(0x1040, 0);
+        let p = b.finish();
+        let stats = run_trace(p.clone(), None);
+        let store = p.iter().find(|(_, i)| i.kind() == InstKind::Store).unwrap().0;
+        let load = p.iter().find(|(_, i)| i.kind() == InstKind::Load).unwrap().0;
+        assert!(stats.timings[load.index()].effect >= stats.timings[store.index()].complete);
+    }
+
+    #[test]
+    fn store_to_load_forwarding() {
+        let mut b = TraceBuilder::new();
+        b.store(0x40, 99);
+        b.load(0x40, 99);
+        let p = b.finish();
+        let stats = run_trace(p.clone(), None);
+        let load = p.iter().find(|(_, i)| i.kind() == InstKind::Load).unwrap().0;
+        let store = p.iter().find(|(_, i)| i.kind() == InstKind::Store).unwrap().0;
+        // Forwarded: load executed before the store's drain completed.
+        assert!(
+            stats.timings[load.index()].complete
+                <= stats.timings[store.index()].complete + 2
+        );
+    }
+
+    #[test]
+    fn issue_histogram_accounts_all_cycles() {
+        let mut b = TraceBuilder::new();
+        b.compute_chain(20);
+        let stats = run_trace(b.finish(), None);
+        assert_eq!(stats.issue_hist.cycles(), stats.cycles);
+    }
+
+    #[test]
+    fn cycle_limit_error() {
+        let mut b = TraceBuilder::new();
+        b.compute_chain(100);
+        let mem = FixedLatencyMem::new(LOAD_LAT, ACK_LAT);
+        let mut core = Core::new(CpuConfig::a72(), b.finish(), mem);
+        let err = core.run(3).unwrap_err();
+        assert!(matches!(err, CoreError::CycleLimit { .. }));
+        assert!(err.to_string().contains("cycle limit"));
+    }
+
+    #[test]
+    fn ede_load_consumer_extension() {
+        // Hazard-pointer shape: str (1,0) then ldr (0,1) — the load must
+        // not execute before the store is visible.
+        let mut b = TraceBuilder::new();
+        let k = Edk::new(1).unwrap();
+        let base = b.lea(0x2040);
+        b.store_to_edk(base, 0x2040, 5, ede_isa::EdkPair::producer(k));
+        b.release(base);
+        let base2 = b.lea(0x4040);
+        b.load_from_edk(base2, 0x4040, 0, ede_isa::EdkPair::consumer(k));
+        b.release(base2);
+        let p = b.finish();
+        for point in [EnforcementPoint::IssueQueue, EnforcementPoint::WriteBuffer] {
+            let stats = run_trace(p.clone(), Some(point));
+            check_exec_deps(&p, &stats);
+        }
+    }
+}

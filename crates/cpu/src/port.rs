@@ -1,0 +1,125 @@
+//! The core's memory interface.
+
+use ede_mem::{MemResp, MemSystem, ReqId, ReqKind};
+
+/// What the core needs from a memory system.
+///
+/// [`MemSystem`] is the production implementation;
+/// [`FixedLatencyMem`] is a deterministic test double.
+pub trait MemPort {
+    /// Whether a request would currently be accepted.
+    fn can_accept(&self) -> bool;
+    /// Submits a request; `None` under back-pressure.
+    fn try_access(&mut self, kind: ReqKind, addr: u64, now: u64) -> Option<ReqId>;
+    /// Advances to `now`, returning responses due.
+    fn tick(&mut self, now: u64) -> Vec<MemResp>;
+}
+
+impl MemPort for MemSystem {
+    fn can_accept(&self) -> bool {
+        MemSystem::can_accept(self)
+    }
+
+    fn try_access(&mut self, kind: ReqKind, addr: u64, now: u64) -> Option<ReqId> {
+        MemSystem::try_access(self, kind, addr, now)
+    }
+
+    fn tick(&mut self, now: u64) -> Vec<MemResp> {
+        MemSystem::tick(self, now)
+    }
+}
+
+/// A test memory: every request completes after a fixed latency,
+/// `Cvap` requests after a separately configurable latency.
+///
+/// # Example
+///
+/// ```
+/// use ede_cpu::{FixedLatencyMem, MemPort};
+/// use ede_mem::ReqKind;
+///
+/// let mut mem = FixedLatencyMem::new(5, 20);
+/// let id = mem.try_access(ReqKind::Load, 0x40, 0).unwrap();
+/// assert!(mem.tick(4).is_empty());
+/// let r = mem.tick(5);
+/// assert_eq!(r[0].id, id);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FixedLatencyMem {
+    latency: u64,
+    cvap_latency: u64,
+    next: u64,
+    inflight: Vec<(u64, ReqId, u64)>, // (due, id, addr)
+}
+
+impl FixedLatencyMem {
+    /// A memory with the given load/store latency and persist-ack latency.
+    pub fn new(latency: u64, cvap_latency: u64) -> FixedLatencyMem {
+        FixedLatencyMem {
+            latency,
+            cvap_latency,
+            next: 0,
+            inflight: Vec::new(),
+        }
+    }
+
+    /// Requests still in flight.
+    pub fn outstanding(&self) -> usize {
+        self.inflight.len()
+    }
+}
+
+impl MemPort for FixedLatencyMem {
+    fn can_accept(&self) -> bool {
+        true
+    }
+
+    fn try_access(&mut self, kind: ReqKind, addr: u64, now: u64) -> Option<ReqId> {
+        let id = ReqId(self.next);
+        self.next += 1;
+        let lat = match kind {
+            ReqKind::Cvap => self.cvap_latency,
+            _ => self.latency,
+        };
+        self.inflight.push((now + lat, id, addr));
+        Some(id)
+    }
+
+    fn tick(&mut self, now: u64) -> Vec<MemResp> {
+        let (done, rest): (Vec<_>, Vec<_>) = self.inflight.iter().partition(|&&(d, _, _)| d <= now);
+        self.inflight = rest;
+        done.into_iter()
+            .map(|(d, id, addr)| MemResp {
+                id,
+                addr,
+                cycle: d,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_latency_orders_by_due_time() {
+        let mut mem = FixedLatencyMem::new(10, 30);
+        let a = mem.try_access(ReqKind::Load, 0, 0).unwrap();
+        let b = mem.try_access(ReqKind::Cvap, 64, 0).unwrap();
+        assert_eq!(mem.outstanding(), 2);
+        let r = mem.tick(10);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].id, a);
+        let r = mem.tick(30);
+        assert_eq!(r[0].id, b);
+        assert_eq!(mem.outstanding(), 0);
+    }
+
+    #[test]
+    fn mem_system_satisfies_port() {
+        fn takes_port<M: MemPort>(_: &M) {}
+        let mem = MemSystem::new(ede_mem::MemConfig::a72_hybrid());
+        takes_port(&mem);
+    }
+}

@@ -1,0 +1,286 @@
+//! Pipeline event tracing (gem5's `--debug-flags=O3Pipe` equivalent).
+//!
+//! Attach an observer to a [`Core`](crate::Core) and receive one event
+//! per pipeline transition: dispatch, issue, execution, retirement,
+//! write-buffer drain, completion, and squash. [`PipeRecorder`] collects
+//! events and checks the per-instruction stage ordering invariant — used
+//! both for debugging and as a test oracle.
+
+use ede_isa::InstId;
+use std::fmt;
+
+/// A pipeline transition.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum PipeStage {
+    /// Entered the ROB/issue queue.
+    Dispatch,
+    /// Left the issue queue for a functional unit or the memory system.
+    Issue,
+    /// Result produced (writeback).
+    Executed,
+    /// Left the ROB.
+    Retire,
+    /// Write-buffer entry pushed to the memory system.
+    Drain,
+    /// Complete in the EDE sense.
+    Complete,
+    /// Squashed by a misprediction (the instruction will re-dispatch).
+    Squash,
+}
+
+impl fmt::Display for PipeStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PipeStage::Dispatch => "dispatch",
+            PipeStage::Issue => "issue",
+            PipeStage::Executed => "executed",
+            PipeStage::Retire => "retire",
+            PipeStage::Drain => "drain",
+            PipeStage::Complete => "complete",
+            PipeStage::Squash => "squash",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One traced event.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PipeEvent {
+    /// Cycle of the transition.
+    pub cycle: u64,
+    /// The dynamic instruction.
+    pub id: InstId,
+    /// The transition.
+    pub stage: PipeStage,
+}
+
+/// Observer callback type: invoked synchronously for every event.
+pub type PipeObserver = Box<dyn FnMut(PipeEvent)>;
+
+/// Records events and validates stage ordering.
+///
+/// # Example
+///
+/// ```
+/// use ede_cpu::ptrace::{PipeEvent, PipeRecorder, PipeStage};
+/// use ede_isa::InstId;
+///
+/// let mut rec = PipeRecorder::new();
+/// rec.push(PipeEvent { cycle: 1, id: InstId(0), stage: PipeStage::Dispatch });
+/// rec.push(PipeEvent { cycle: 2, id: InstId(0), stage: PipeStage::Issue });
+/// assert_eq!(rec.events().len(), 2);
+/// assert!(rec.check_stage_order().is_ok());
+/// ```
+#[derive(Default)]
+pub struct PipeRecorder {
+    events: Vec<PipeEvent>,
+}
+
+impl PipeRecorder {
+    /// An empty recorder.
+    pub fn new() -> PipeRecorder {
+        PipeRecorder::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, ev: PipeEvent) {
+        self.events.push(ev);
+    }
+
+    /// All events, in emission order.
+    pub fn events(&self) -> &[PipeEvent] {
+        &self.events
+    }
+
+    /// Events for one instruction, in order.
+    pub fn of(&self, id: InstId) -> Vec<PipeEvent> {
+        self.events.iter().copied().filter(|e| e.id == id).collect()
+    }
+
+    /// Checks the fundamental pipeline invariant: within each
+    /// instruction's final (post-squash) incarnation, stages occur at
+    /// nondecreasing cycles in the order `Dispatch ≤ Issue ≤ Executed ≤
+    /// Retire ≤ Drain ≤ Complete`, except that instructions whose
+    /// completion point precedes retirement (ALU/loads/IQ-mode controls)
+    /// may emit Complete before Retire.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first violation.
+    pub fn check_stage_order(&self) -> Result<(), String> {
+        use std::collections::HashMap;
+        // Keep only each instruction's final incarnation: drop everything
+        // at or before its last Squash event.
+        let mut last_squash: HashMap<InstId, usize> = HashMap::new();
+        for (i, e) in self.events.iter().enumerate() {
+            if e.stage == PipeStage::Squash {
+                last_squash.insert(e.id, i);
+            }
+        }
+        let mut cursor: HashMap<InstId, (PipeStage, u64)> = HashMap::new();
+        for (i, e) in self.events.iter().enumerate() {
+            if e.stage == PipeStage::Squash {
+                continue;
+            }
+            if last_squash.get(&e.id).is_some_and(|&s| i < s) {
+                continue; // earlier incarnation
+            }
+            if let Some(&(prev_stage, prev_cycle)) = cursor.get(&e.id) {
+                // Instructions whose completion point precedes retirement
+                // (ALU writeback, load data return, IQ-mode controls)
+                // legally emit Complete before Retire.
+                let order_ok = stage_rank(prev_stage) <= stage_rank(e.stage)
+                    || (prev_stage == PipeStage::Complete && e.stage == PipeStage::Retire);
+                let time_ok = prev_cycle <= e.cycle;
+                if !order_ok || !time_ok {
+                    return Err(format!(
+                        "instruction {}: {prev_stage}@{prev_cycle} then {}@{}",
+                        e.id, e.stage, e.cycle
+                    ));
+                }
+            }
+            cursor.insert(e.id, (e.stage, e.cycle));
+        }
+        Ok(())
+    }
+}
+
+/// Renders recorded events as a gem5 `O3PipeView`-style lane chart: one
+/// row per instruction, one column per cycle bucket, with stage letters
+/// `D` (dispatch), `I` (issue), `X` (executed), `R` (retire), `W` (drain)
+/// and `C` (complete); `=` fills the instruction's lifetime and `~` marks
+/// squashed incarnations.
+///
+/// `width` is the chart width in columns (cycles are bucketed to fit).
+///
+/// # Example
+///
+/// ```
+/// use ede_cpu::ptrace::{render_pipeview, PipeEvent, PipeRecorder, PipeStage};
+/// use ede_isa::{Inst, InstId, Op, Program};
+///
+/// let mut p = Program::new();
+/// p.push(Inst::plain(Op::Nop));
+/// let mut rec = PipeRecorder::new();
+/// rec.push(PipeEvent { cycle: 1, id: InstId(0), stage: PipeStage::Dispatch });
+/// rec.push(PipeEvent { cycle: 3, id: InstId(0), stage: PipeStage::Complete });
+/// let chart = render_pipeview(&p, &rec, 20);
+/// assert!(chart.contains('D'));
+/// assert!(chart.contains('C'));
+/// ```
+pub fn render_pipeview(
+    program: &ede_isa::Program,
+    rec: &PipeRecorder,
+    width: usize,
+) -> String {
+    use std::fmt::Write as _;
+    let width = width.max(10);
+    let max_cycle = rec.events().iter().map(|e| e.cycle).max().unwrap_or(1).max(1);
+    let scale = |cycle: u64| -> usize {
+        ((cycle.saturating_sub(1)) as usize * (width - 1) / max_cycle as usize).min(width - 1)
+    };
+    let letter = |s: PipeStage| match s {
+        PipeStage::Dispatch => 'D',
+        PipeStage::Issue => 'I',
+        PipeStage::Executed => 'X',
+        PipeStage::Retire => 'R',
+        PipeStage::Drain => 'W',
+        PipeStage::Complete => 'C',
+        PipeStage::Squash => '~',
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "cycles 1..{max_cycle} mapped onto {width} columns");
+    for (id, inst) in program.iter() {
+        let evs = rec.of(id);
+        if evs.is_empty() {
+            continue;
+        }
+        let mut lane = vec![' '; width];
+        // Fill the final incarnation's lifetime with '='.
+        let last_squash = evs
+            .iter()
+            .rposition(|e| e.stage == PipeStage::Squash);
+        let finals: Vec<&PipeEvent> = match last_squash {
+            Some(i) => evs[i + 1..].iter().collect(),
+            None => evs.iter().collect(),
+        };
+        if let (Some(first), Some(last)) = (finals.first(), finals.last()) {
+            for c in lane
+                .iter_mut()
+                .take(scale(last.cycle) + 1)
+                .skip(scale(first.cycle))
+            {
+                *c = '=';
+            }
+        }
+        // Squashed incarnations appear as '~'.
+        for e in &evs {
+            if e.stage == PipeStage::Squash {
+                lane[scale(e.cycle)] = '~';
+            }
+        }
+        for e in finals {
+            lane[scale(e.cycle)] = letter(e.stage);
+        }
+        let text: String = lane.into_iter().collect();
+        let _ = writeln!(
+            out,
+            "{:>5} |{}| {}",
+            id.to_string(),
+            text,
+            ede_isa::disasm::Disasm(inst)
+        );
+    }
+    out
+}
+
+fn stage_rank(s: PipeStage) -> u8 {
+    match s {
+        PipeStage::Dispatch => 0,
+        PipeStage::Issue => 1,
+        PipeStage::Executed => 2,
+        PipeStage::Retire => 3,
+        PipeStage::Drain => 4,
+        PipeStage::Complete => 5,
+        PipeStage::Squash => 6,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_violation_detected() {
+        let mut rec = PipeRecorder::new();
+        rec.push(PipeEvent { cycle: 5, id: InstId(0), stage: PipeStage::Issue });
+        rec.push(PipeEvent { cycle: 4, id: InstId(0), stage: PipeStage::Executed });
+        let err = rec.check_stage_order().expect_err("time went backwards");
+        assert!(err.contains("instruction #0"));
+    }
+
+    #[test]
+    fn squash_resets_incarnation() {
+        let mut rec = PipeRecorder::new();
+        rec.push(PipeEvent { cycle: 1, id: InstId(0), stage: PipeStage::Dispatch });
+        rec.push(PipeEvent { cycle: 2, id: InstId(0), stage: PipeStage::Issue });
+        rec.push(PipeEvent { cycle: 3, id: InstId(0), stage: PipeStage::Squash });
+        // Re-dispatch after the squash is a fresh incarnation.
+        rec.push(PipeEvent { cycle: 9, id: InstId(0), stage: PipeStage::Dispatch });
+        rec.push(PipeEvent { cycle: 10, id: InstId(0), stage: PipeStage::Issue });
+        assert!(rec.check_stage_order().is_ok());
+    }
+
+    #[test]
+    fn per_instruction_filter() {
+        let mut rec = PipeRecorder::new();
+        rec.push(PipeEvent { cycle: 1, id: InstId(0), stage: PipeStage::Dispatch });
+        rec.push(PipeEvent { cycle: 1, id: InstId(1), stage: PipeStage::Dispatch });
+        assert_eq!(rec.of(InstId(1)).len(), 1);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(PipeStage::Drain.to_string(), "drain");
+    }
+}

@@ -1,0 +1,202 @@
+//! Execution Dependence Keys (EDKs).
+//!
+//! EDKs are the paper's new architectural name space (§IV-A1). Like
+//! registers they are encoded directly into instructions, but no data is
+//! read or written through them: they index the Execution Dependence Map
+//! (EDM) in hardware, linking a *dependence producer* to the *dependence
+//! consumers* that must wait for its completion.
+
+use std::fmt;
+
+/// Number of architecturally visible EDKs, including the zero key.
+pub const NUM_EDKS: usize = 16;
+
+/// An Execution Dependence Key: `EDK #0` through `EDK #15`.
+///
+/// `EDK #0` is the *zero key*: encoding it in an operand field means the
+/// field is unused (the instruction is not a producer, or not a consumer).
+/// The hardware Execution Dependence Map therefore only needs fifteen
+/// entries (§IV-A1).
+///
+/// # Example
+///
+/// ```
+/// use ede_isa::Edk;
+///
+/// let k = Edk::new(3).unwrap();
+/// assert_eq!(k.index(), 3);
+/// assert!(!k.is_zero());
+/// assert!(Edk::ZERO.is_zero());
+/// assert!(Edk::new(16).is_none());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Edk(u8);
+
+impl Edk {
+    /// The zero key, `EDK #0`: marks an operand field as unused.
+    pub const ZERO: Edk = Edk(0);
+
+    /// Creates `EDK #n`, or `None` if `n >= 16`.
+    pub fn new(n: u8) -> Option<Edk> {
+        if (n as usize) < NUM_EDKS {
+            Some(Edk(n))
+        } else {
+            None
+        }
+    }
+
+    /// The key's index, `0..=15`.
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is the zero key (operand field unused).
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over the fifteen *live* keys, `EDK #1` through `EDK #15`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ede_isa::Edk;
+    /// assert_eq!(Edk::live_keys().count(), 15);
+    /// assert!(Edk::live_keys().all(|k| !k.is_zero()));
+    /// ```
+    pub fn live_keys() -> impl Iterator<Item = Edk> {
+        (1..NUM_EDKS as u8).map(Edk)
+    }
+}
+
+impl fmt::Display for Edk {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The `(EDK_def, EDK_use)` operand pair carried by EDE instruction
+/// variants (§IV-B1).
+///
+/// `def` names the key this instruction *produces* (later consumers of the
+/// key wait on this instruction); `use_` (written `EDK_use` in the paper)
+/// names the key this instruction *consumes* (this instruction waits for
+/// the key's current producer). Either may be the zero key.
+///
+/// The paper writes the pair in parentheses before the original operands:
+/// `str (0, 1), x3, [x0]` is a store consuming `EDK #1`.
+///
+/// # Example
+///
+/// ```
+/// use ede_isa::{Edk, EdkPair};
+///
+/// let p = EdkPair::producer(Edk::new(1).unwrap());
+/// assert!(p.is_producer() && !p.is_consumer());
+///
+/// let c = EdkPair::consumer(Edk::new(1).unwrap());
+/// assert!(!c.is_producer() && c.is_consumer());
+///
+/// assert!(EdkPair::NONE.is_plain());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct EdkPair {
+    /// The key this instruction produces (zero key: not a producer).
+    pub def: Edk,
+    /// The key this instruction consumes (zero key: not a consumer).
+    pub use_: Edk,
+}
+
+impl EdkPair {
+    /// A pair of zero keys: the instruction takes no part in EDE.
+    pub const NONE: EdkPair = EdkPair {
+        def: Edk::ZERO,
+        use_: Edk::ZERO,
+    };
+
+    /// A pair with both a producer and a consumer key.
+    pub fn new(def: Edk, use_: Edk) -> EdkPair {
+        EdkPair { def, use_ }
+    }
+
+    /// A pure producer pair: `(key, 0)`.
+    pub fn producer(def: Edk) -> EdkPair {
+        EdkPair {
+            def,
+            use_: Edk::ZERO,
+        }
+    }
+
+    /// A pure consumer pair: `(0, key)`.
+    pub fn consumer(use_: Edk) -> EdkPair {
+        EdkPair {
+            def: Edk::ZERO,
+            use_,
+        }
+    }
+
+    /// Whether the instruction produces a key.
+    pub fn is_producer(self) -> bool {
+        !self.def.is_zero()
+    }
+
+    /// Whether the instruction consumes a key.
+    pub fn is_consumer(self) -> bool {
+        !self.use_.is_zero()
+    }
+
+    /// Whether the instruction takes no part in EDE (both fields zero).
+    pub fn is_plain(self) -> bool {
+        !self.is_producer() && !self.is_consumer()
+    }
+}
+
+impl fmt::Display for EdkPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.def, self.use_)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_key_semantics() {
+        assert!(Edk::ZERO.is_zero());
+        assert_eq!(Edk::default(), Edk::ZERO);
+        assert_eq!(Edk::new(0).unwrap(), Edk::ZERO);
+    }
+
+    #[test]
+    fn bounds() {
+        assert!(Edk::new(15).is_some());
+        assert!(Edk::new(16).is_none());
+    }
+
+    #[test]
+    fn live_keys_excludes_zero() {
+        let keys: Vec<Edk> = Edk::live_keys().collect();
+        assert_eq!(keys.len(), 15);
+        assert_eq!(keys[0].index(), 1);
+        assert_eq!(keys[14].index(), 15);
+    }
+
+    #[test]
+    fn pair_roles() {
+        let k = Edk::new(5).unwrap();
+        assert!(EdkPair::producer(k).is_producer());
+        assert!(!EdkPair::producer(k).is_consumer());
+        assert!(EdkPair::consumer(k).is_consumer());
+        assert!(EdkPair::NONE.is_plain());
+        let both = EdkPair::new(k, Edk::new(6).unwrap());
+        assert!(both.is_producer() && both.is_consumer());
+        assert!(!both.is_plain());
+    }
+
+    #[test]
+    fn pair_display_matches_paper_notation() {
+        let p = EdkPair::new(Edk::new(1).unwrap(), Edk::ZERO);
+        assert_eq!(p.to_string(), "(1, 0)");
+    }
+}

@@ -1,0 +1,180 @@
+//! Linear instruction traces.
+
+use crate::inst::Inst;
+use std::fmt;
+
+/// Identifies a dynamic instruction within a [`Program`] (its position in
+/// the trace). Doubles as the in-flight instruction ID stored in the
+/// Execution Dependence Map (§V-A).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct InstId(pub u64);
+
+impl InstId {
+    /// The trace position as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for InstId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A linear trace of instructions, ready to be replayed by the core model.
+///
+/// Traces are produced by [`TraceBuilder`](crate::TraceBuilder) (usually
+/// via the NVM framework's code generator). Control flow is already
+/// resolved — branches carry their misprediction outcome — so the trace is
+/// a straight line; the simulator's front end fetches it in order and
+/// rewinds on a squash.
+///
+/// # Example
+///
+/// ```
+/// use ede_isa::{Inst, Op, Program, Reg};
+///
+/// let mut p = Program::new();
+/// let id = p.push(Inst::plain(Op::Nop));
+/// assert_eq!(id.index(), 0);
+/// assert_eq!(p.len(), 1);
+/// assert_eq!(p[id].op, Op::Nop);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Program {
+    insts: Vec<Inst>,
+}
+
+impl Program {
+    /// An empty program.
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Appends an instruction, returning its trace position.
+    pub fn push(&mut self, inst: Inst) -> InstId {
+        let id = InstId(self.insts.len() as u64);
+        self.insts.push(inst);
+        id
+    }
+
+    /// Number of instructions in the trace.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The instruction at `id`, or `None` past the end of the trace.
+    pub fn get(&self, id: InstId) -> Option<&Inst> {
+        self.insts.get(id.index())
+    }
+
+    /// Iterates over `(id, instruction)` pairs in trace order.
+    pub fn iter(&self) -> impl Iterator<Item = (InstId, &Inst)> {
+        self.insts
+            .iter()
+            .enumerate()
+            .map(|(i, inst)| (InstId(i as u64), inst))
+    }
+
+    /// Validates static well-formedness: EDE keys only on permitted
+    /// opcodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the position of the first offending instruction.
+    pub fn validate(&self) -> Result<(), InstId> {
+        for (id, inst) in self.iter() {
+            if !inst.edks_permitted() {
+                return Err(id);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::ops::Index<InstId> for Program {
+    type Output = Inst;
+
+    fn index(&self, id: InstId) -> &Inst {
+        &self.insts[id.index()]
+    }
+}
+
+impl FromIterator<Inst> for Program {
+    fn from_iter<I: IntoIterator<Item = Inst>>(iter: I) -> Program {
+        Program {
+            insts: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Inst> for Program {
+    fn extend<I: IntoIterator<Item = Inst>>(&mut self, iter: I) {
+        self.insts.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edk::{Edk, EdkPair};
+    use crate::inst::Op;
+    use crate::reg::Reg;
+
+    #[test]
+    fn push_and_index() {
+        let mut p = Program::new();
+        assert!(p.is_empty());
+        let a = p.push(Inst::plain(Op::Nop));
+        let b = p.push(Inst::plain(Op::DsbSy));
+        assert_eq!(p.len(), 2);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(p[b].op, Op::DsbSy);
+        assert!(p.get(InstId(5)).is_none());
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let p: Program = vec![Inst::plain(Op::Nop), Inst::plain(Op::Nop)]
+            .into_iter()
+            .collect();
+        assert_eq!(p.len(), 2);
+        let mut q = p.clone();
+        q.extend(vec![Inst::plain(Op::DsbSy)]);
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn validate_rejects_keys_on_alu() {
+        let mut p = Program::new();
+        p.push(Inst::plain(Op::Nop));
+        p.push(Inst::with_edks(
+            Op::Mov {
+                dst: Reg::x(1).unwrap(),
+                imm: 0,
+            },
+            EdkPair::producer(Edk::new(1).unwrap()),
+        ));
+        assert_eq!(p.validate(), Err(InstId(1)));
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        let mut p = Program::new();
+        p.push(Inst::with_edks(
+            Op::DcCvap {
+                base: Reg::x(0).unwrap(),
+                addr: 0x40,
+            },
+            EdkPair::producer(Edk::new(1).unwrap()),
+        ));
+        assert!(p.validate().is_ok());
+    }
+}

@@ -1,0 +1,105 @@
+//! General-purpose register names.
+
+use std::fmt;
+
+/// An AArch64 general-purpose register (`X0`–`X30`) or the zero register.
+///
+/// Registers here are *architectural* names. The out-of-order core performs
+/// register renaming at decode, so the same architectural register may be
+/// live in several in-flight instructions without creating WAW/WAR hazards.
+///
+/// # Example
+///
+/// ```
+/// use ede_isa::Reg;
+///
+/// let r = Reg::x(3).unwrap();
+/// assert_eq!(r.index(), 3);
+/// assert_eq!(r.to_string(), "x3");
+/// assert!(Reg::XZR.is_zero());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Number of addressable general-purpose registers (`X0`–`X30`).
+    pub const NUM_GPRS: u8 = 31;
+
+    /// The zero register `XZR`: reads as zero, writes are discarded.
+    pub const XZR: Reg = Reg(31);
+
+    /// Returns the general-purpose register `X<n>`.
+    ///
+    /// Returns `None` if `n >= 31` (use [`Reg::XZR`] for the zero register).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ede_isa::Reg;
+    /// assert!(Reg::x(30).is_some());
+    /// assert!(Reg::x(31).is_none());
+    /// ```
+    pub fn x(n: u8) -> Option<Reg> {
+        if n < Self::NUM_GPRS {
+            Some(Reg(n))
+        } else {
+            None
+        }
+    }
+
+    /// The register's index: `0..=30` for `X0`–`X30`, `31` for `XZR`.
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is the zero register.
+    pub fn is_zero(self) -> bool {
+        self.0 == 31
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            write!(f, "xzr")
+        } else {
+            write!(f, "x{}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_bounds() {
+        assert_eq!(Reg::x(0).unwrap().index(), 0);
+        assert_eq!(Reg::x(30).unwrap().index(), 30);
+        assert!(Reg::x(31).is_none());
+        assert!(Reg::x(200).is_none());
+    }
+
+    #[test]
+    fn zero_register() {
+        assert!(Reg::XZR.is_zero());
+        assert!(!Reg::x(0).unwrap().is_zero());
+        assert_eq!(Reg::XZR.index(), 31);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Reg::x(7).unwrap().to_string(), "x7");
+        assert_eq!(Reg::XZR.to_string(), "xzr");
+    }
+
+    #[test]
+    fn ordering_and_hash_derive() {
+        let a = Reg::x(1).unwrap();
+        let b = Reg::x(2).unwrap();
+        assert!(a < b);
+        let mut set = std::collections::HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&Reg::x(1).unwrap()));
+    }
+}

@@ -1,0 +1,63 @@
+//! Memory-system statistics.
+
+/// Counters accumulated by [`MemSystem`](crate::MemSystem) over a run.
+///
+/// # Example
+///
+/// ```
+/// use ede_mem::MemStats;
+///
+/// let s = MemStats::default();
+/// assert_eq!(s.loads, 0);
+/// assert_eq!(s.l1_hit_rate(), 0.0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct MemStats {
+    /// Demand loads served.
+    pub loads: u64,
+    /// Store drains served.
+    pub store_drains: u64,
+    /// `DC CVAP` persist requests served.
+    pub cvaps: u64,
+    /// L1 hits (loads + store drains).
+    pub l1_hits: u64,
+    /// L2 hits.
+    pub l2_hits: u64,
+    /// L3 hits.
+    pub l3_hits: u64,
+    /// Accesses that reached DRAM.
+    pub dram_accesses: u64,
+    /// Reads that reached NVM media (or its buffer).
+    pub nvm_reads: u64,
+    /// Dirty NVM lines pushed to the persist buffer by cache eviction
+    /// (rather than by an explicit `DC CVAP`).
+    pub nvm_evictions: u64,
+    /// Lines brought into the L2 by the next-line prefetcher.
+    pub prefetches: u64,
+}
+
+impl MemStats {
+    /// Fraction of cache-level accesses that hit in the L1 (0 when idle).
+    pub fn l1_hit_rate(&self) -> f64 {
+        let total = self.loads + self.store_drains;
+        if total == 0 {
+            0.0
+        } else {
+            self.l1_hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate() {
+        let mut s = MemStats::default();
+        s.loads = 8;
+        s.store_drains = 2;
+        s.l1_hits = 5;
+        assert!((s.l1_hit_rate() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,216 @@
+//! Persist tracing and NVM-image reconstruction.
+//!
+//! The memory system records two event streams while it simulates:
+//!
+//! * **store events** — a retired store's data becoming visible in the
+//!   cache hierarchy (still volatile!);
+//! * **persist events** — a 64-byte line's current contents entering the
+//!   persistent domain (persist-buffer admission, whether from a
+//!   `DC CVAP` or a dirty NVM eviction).
+//!
+//! Replaying both streams up to an arbitrary crash instant yields the
+//! exact NVM contents a power failure at that instant would leave behind;
+//! [`nvm_image_at`] does exactly that. The `ede-nvm` crate runs undo-log
+//! recovery over the resulting image to test crash consistency.
+
+use std::collections::HashMap;
+
+/// A store's data becoming visible in the (volatile) cache hierarchy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StoreEvent {
+    /// Completion cycle (global visibility).
+    pub cycle: u64,
+    /// Destination virtual address (8-byte aligned).
+    pub addr: u64,
+    /// Access width in bytes: 8 (`STR`) or 16 (`STP`).
+    pub width: u8,
+    /// The stored word(s): `value[0]` at `addr`, `value[1]` at `addr + 8`
+    /// for 16-byte stores.
+    pub value: [u64; 2],
+}
+
+/// A 64-byte line's contents entering the persistent domain.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PersistEvent {
+    /// Admission cycle into the persist buffer.
+    pub cycle: u64,
+    /// Line-aligned address (64-byte granularity).
+    pub line: u64,
+}
+
+/// The combined event record of one simulation.
+#[derive(Clone, Debug, Default)]
+pub struct PersistTrace {
+    /// Store-visibility events, in nondecreasing cycle order.
+    pub stores: Vec<StoreEvent>,
+    /// Persist events, in nondecreasing cycle order.
+    pub persists: Vec<PersistEvent>,
+}
+
+impl PersistTrace {
+    /// Records a store event.
+    pub fn record_store(&mut self, ev: StoreEvent) {
+        self.stores.push(ev);
+    }
+
+    /// Records a persist event.
+    pub fn record_persist(&mut self, ev: PersistEvent) {
+        self.persists.push(ev);
+    }
+
+    /// The last event cycle in the trace (0 if empty).
+    pub fn horizon(&self) -> u64 {
+        let s = self.stores.last().map_or(0, |e| e.cycle);
+        let p = self.persists.last().map_or(0, |e| e.cycle);
+        s.max(p)
+    }
+}
+
+/// Reconstructs the NVM contents observable after a crash at
+/// `crash_cycle` (inclusive), as a map from 8-byte-aligned word address to
+/// value. Words never persisted are absent (read as their initial value).
+///
+/// Stores at the crash cycle are applied before persists at the same
+/// cycle, matching the simulator's intra-cycle ordering (a persist
+/// admission snapshots the line as of that cycle's visible stores).
+///
+/// # Example
+///
+/// ```
+/// use ede_mem::trace::{nvm_image_at, PersistEvent, PersistTrace, StoreEvent};
+///
+/// let mut t = PersistTrace::default();
+/// t.record_store(StoreEvent { cycle: 10, addr: 0x1000, width: 8, value: [42, 0] });
+/// t.record_persist(PersistEvent { cycle: 20, line: 0x1000 });
+///
+/// assert!(nvm_image_at(&t, 15, 64).is_empty());      // visible but not persistent
+/// assert_eq!(nvm_image_at(&t, 20, 64)[&0x1000], 42); // persisted at 20
+/// ```
+pub fn nvm_image_at(trace: &PersistTrace, crash_cycle: u64, line_bytes: u64) -> HashMap<u64, u64> {
+    // Volatile view: word address → value, updated by stores.
+    let mut volatile: HashMap<u64, u64> = HashMap::new();
+    // Persistent image.
+    let mut image: HashMap<u64, u64> = HashMap::new();
+
+    let mut si = 0;
+    let mut pi = 0;
+    let stores = &trace.stores;
+    let persists = &trace.persists;
+    loop {
+        let s = stores.get(si).filter(|e| e.cycle <= crash_cycle);
+        let p = persists.get(pi).filter(|e| e.cycle <= crash_cycle);
+        let take_store = match (s, p) {
+            (None, None) => break,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (Some(se), Some(pe)) => se.cycle <= pe.cycle,
+        };
+        if take_store {
+            let se = s.expect("store present");
+            volatile.insert(se.addr, se.value[0]);
+            if se.width == 16 {
+                volatile.insert(se.addr + 8, se.value[1]);
+            }
+            si += 1;
+        } else {
+            let pe = p.expect("persist present");
+            for off in (0..line_bytes).step_by(8) {
+                let w = pe.line + off;
+                if let Some(&v) = volatile.get(&w) {
+                    image.insert(w, v);
+                }
+            }
+            pi += 1;
+        }
+    }
+    image
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn st(cycle: u64, addr: u64, value: u64) -> StoreEvent {
+        StoreEvent {
+            cycle,
+            addr,
+            width: 8,
+            value: [value, 0],
+        }
+    }
+
+    #[test]
+    fn unpersisted_store_invisible() {
+        let mut t = PersistTrace::default();
+        t.record_store(st(5, 0x100, 1));
+        let img = nvm_image_at(&t, 100, 64);
+        assert!(img.is_empty());
+    }
+
+    #[test]
+    fn persist_snapshots_line_contents() {
+        let mut t = PersistTrace::default();
+        t.record_store(st(5, 0x100, 1));
+        t.record_store(st(6, 0x108, 2));
+        t.record_store(st(7, 0x140, 3)); // different line
+        t.record_persist(PersistEvent { cycle: 10, line: 0x100 });
+        let img = nvm_image_at(&t, 10, 64);
+        assert_eq!(img.get(&0x100), Some(&1));
+        assert_eq!(img.get(&0x108), Some(&2));
+        assert_eq!(img.get(&0x140), None);
+    }
+
+    #[test]
+    fn later_store_not_included_in_earlier_persist() {
+        let mut t = PersistTrace::default();
+        t.record_store(st(5, 0x100, 1));
+        t.record_persist(PersistEvent { cycle: 10, line: 0x100 });
+        t.record_store(st(15, 0x100, 2));
+        // Crash after the second store but before any re-persist.
+        let img = nvm_image_at(&t, 20, 64);
+        assert_eq!(img.get(&0x100), Some(&1));
+    }
+
+    #[test]
+    fn repersist_updates_image() {
+        let mut t = PersistTrace::default();
+        t.record_store(st(5, 0x100, 1));
+        t.record_persist(PersistEvent { cycle: 10, line: 0x100 });
+        t.record_store(st(15, 0x100, 2));
+        t.record_persist(PersistEvent { cycle: 20, line: 0x100 });
+        assert_eq!(nvm_image_at(&t, 19, 64).get(&0x100), Some(&1));
+        assert_eq!(nvm_image_at(&t, 20, 64).get(&0x100), Some(&2));
+    }
+
+    #[test]
+    fn same_cycle_store_then_persist() {
+        let mut t = PersistTrace::default();
+        t.record_store(st(10, 0x100, 7));
+        t.record_persist(PersistEvent { cycle: 10, line: 0x100 });
+        assert_eq!(nvm_image_at(&t, 10, 64).get(&0x100), Some(&7));
+    }
+
+    #[test]
+    fn stp_persists_both_words() {
+        let mut t = PersistTrace::default();
+        t.record_store(StoreEvent {
+            cycle: 1,
+            addr: 0x200,
+            width: 16,
+            value: [11, 22],
+        });
+        t.record_persist(PersistEvent { cycle: 2, line: 0x200 });
+        let img = nvm_image_at(&t, 2, 64);
+        assert_eq!(img.get(&0x200), Some(&11));
+        assert_eq!(img.get(&0x208), Some(&22));
+    }
+
+    #[test]
+    fn crash_before_everything_is_empty() {
+        let mut t = PersistTrace::default();
+        t.record_store(st(10, 0x100, 1));
+        t.record_persist(PersistEvent { cycle: 11, line: 0x100 });
+        assert!(nvm_image_at(&t, 9, 64).is_empty());
+        assert_eq!(t.horizon(), 11);
+    }
+}

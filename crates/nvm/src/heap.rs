@@ -1,0 +1,93 @@
+//! Simple bump allocation for the simulated heaps.
+
+/// A bump allocator over a contiguous address range.
+///
+/// PMDK applications allocate persistent objects from a pool; this
+/// allocator provides the same service for the simulated persistent heap
+/// (and for volatile scratch space). There is no `free` — the evaluated
+/// workloads are insert-only, matching `pmembench`.
+///
+/// # Example
+///
+/// ```
+/// use ede_nvm::BumpHeap;
+///
+/// let mut h = BumpHeap::new(0x1000, 0x100);
+/// let a = h.alloc(24, 8).unwrap();
+/// let b = h.alloc(8, 64).unwrap();
+/// assert_eq!(a % 8, 0);
+/// assert_eq!(b % 64, 0);
+/// assert!(b >= a + 24);
+/// assert!(h.alloc(0x1000, 8).is_none()); // exhausted
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BumpHeap {
+    next: u64,
+    end: u64,
+}
+
+impl BumpHeap {
+    /// An allocator over `[base, base + size)`.
+    pub fn new(base: u64, size: u64) -> BumpHeap {
+        BumpHeap {
+            next: base,
+            end: base + size,
+        }
+    }
+
+    /// Allocates `size` bytes at `align` alignment, or `None` when
+    /// exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub fn alloc(&mut self, size: u64, align: u64) -> Option<u64> {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let addr = (self.next + align - 1) & !(align - 1);
+        let new_next = addr.checked_add(size)?;
+        if new_next > self.end {
+            return None;
+        }
+        self.next = new_next;
+        Some(addr)
+    }
+
+    /// Bytes remaining (ignoring alignment padding).
+    pub fn remaining(&self) -> u64 {
+        self.end - self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_progresses() {
+        let mut h = BumpHeap::new(0, 100);
+        assert_eq!(h.alloc(10, 1), Some(0));
+        assert_eq!(h.alloc(10, 1), Some(10));
+        assert_eq!(h.remaining(), 80);
+    }
+
+    #[test]
+    fn alignment_respected() {
+        let mut h = BumpHeap::new(1, 1000);
+        let a = h.alloc(8, 16).unwrap();
+        assert_eq!(a, 16);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut h = BumpHeap::new(0, 16);
+        assert!(h.alloc(16, 8).is_some());
+        assert!(h.alloc(1, 1).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_alignment_panics() {
+        let mut h = BumpHeap::new(0, 16);
+        let _ = h.alloc(8, 3);
+    }
+}

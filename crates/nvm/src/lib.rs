@@ -1,0 +1,64 @@
+//! A persistent-memory programming framework over the simulated machine.
+//!
+//! This crate plays the role PMDK plays in the paper's evaluation: it
+//! provides failure-atomic transactions over undo logging, and it *lowers*
+//! every framework operation into the instruction sequences of Figures 2,
+//! 4 and 7 — with the fences or EDE annotations appropriate to each
+//! architecture configuration of Table III:
+//!
+//! | config | log persist ordering        | commit ordering            |
+//! |--------|-----------------------------|----------------------------|
+//! | B      | `DC CVAP` + `DSB SY`        | `DSB SY` around the marker |
+//! | SU     | `DC CVAP` + `DMB ST` (unsafe) | `DMB ST` (unsafe)        |
+//! | IQ/WB  | `DC CVAP (k,0)` → `STR (0,k)` | `WAIT_ALL_KEYS` + `WAIT_KEY` |
+//! | U      | nothing (unsafe)            | nothing (unsafe)           |
+//!
+//! The crate also owns the *crash side* of the story:
+//!
+//! * [`recovery`] implements undo-log recovery over a reconstructed NVM
+//!   image;
+//! * [`crash`] replays a simulation's persist trace to an arbitrary crash
+//!   instant, runs recovery, and checks failure atomicity against the
+//!   transaction record — the test that separates the crash-safe
+//!   configurations (B, IQ, WB) from the unsafe ones (SU, U).
+//!
+//! # Example
+//!
+//! ```
+//! use ede_isa::ArchConfig;
+//! use ede_nvm::{Layout, TxWriter};
+//!
+//! let layout = Layout::standard();
+//! let mut tx = TxWriter::new(layout, ArchConfig::WriteBuffer);
+//! let x = tx.heap_alloc(8, 8);
+//! tx.write_init(x, 1);
+//! tx.finish_init();
+//!
+//! tx.begin_tx();
+//! tx.write(x, 2);                 // undo-logged, EDE-ordered persist
+//! tx.commit_tx();
+//!
+//! let out = tx.finish();
+//! assert_eq!(out.records.len(), 1);
+//! assert_eq!(out.records[0].writes, vec![(x, 1, 2)]);
+//! assert!(out.program.len() > 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codegen;
+pub mod cow;
+pub mod crash;
+pub mod heap;
+pub mod layout;
+pub mod log;
+pub mod memory;
+pub mod recovery;
+pub mod redo;
+
+pub use codegen::{TxOutput, TxRecord, TxWriter};
+pub use crash::{check_crash_consistency, ConsistencyError, CrashChecker};
+pub use heap::BumpHeap;
+pub use layout::Layout;
+pub use memory::SimMemory;

@@ -1,0 +1,511 @@
+//! Redo logging — the other classic failure-atomicity protocol (§II-A
+//! lists undo logging, redo logging and copy-on-write as the standard
+//! framework techniques).
+//!
+//! Where undo logging persists the *old* value before every in-place
+//! update (one ordering point per write — the pattern EDE accelerates),
+//! redo logging appends *new* values to the log and defers all in-place
+//! updates to commit:
+//!
+//! 1. per write: append `{addr, new, txid, checksum}` to the redo log and
+//!    persist the entry — **no ordering against other writes**;
+//! 2. commit: ensure all entries persisted, persist the *committed*
+//!    marker (the transaction is now durable), then apply the writes in
+//!    place, persist them, and persist the *applied* marker (which frees
+//!    the log slots for reuse);
+//! 3. recovery: transactions with `applied < txid ≤ committed` are
+//!    replayed from the log (their in-place state may be anything);
+//!    entries with `txid > committed` are ignored (their in-place data
+//!    was never touched).
+//!
+//! Reads inside a transaction consult the write set first (redo's classic
+//! read-indirection cost, modeled as extra bookkeeping work).
+//!
+//! The protocol needs ordering only at commit, so the baseline pays two
+//! fence clusters per *transaction* instead of one per *write* — the
+//! comparison bench (`ablation` suite) quantifies how much of EDE's
+//! advantage redo logging erodes, and what EDE still buys it.
+
+use crate::codegen::{TxOutput, TxRecord};
+use crate::heap::BumpHeap;
+use crate::layout::Layout;
+use crate::log::{checksum, decode_entry, OFF_ADDR, OFF_TXID};
+use crate::memory::SimMemory;
+use crate::recovery::{NvmImage, RecoveryResult};
+use ede_isa::{ArchConfig, Edk, EdkPair, TraceBuilder, VAddr};
+use std::collections::HashMap;
+
+/// Word offset of the *applied* transaction id in the log header line
+/// (the committed id lives at offset 0, as in the undo layout).
+pub const OFF_APPLIED: u64 = 8;
+
+/// Redo-log recovery: replay committed-but-unapplied transactions.
+///
+/// # Example
+///
+/// ```
+/// use ede_nvm::layout::Layout;
+/// use ede_nvm::log::{checksum, OFF_ADDR, OFF_OLD, OFF_TXID, OFF_CSUM};
+/// use ede_nvm::recovery::NvmImage;
+/// use ede_nvm::redo::{recover_redo, OFF_APPLIED};
+///
+/// let layout = Layout::standard();
+/// let mut image = NvmImage::new();
+/// // Tx 1 committed but not applied; its redo entry carries the NEW value.
+/// image.insert(layout.log_header, 1);
+/// let slot = layout.slot_addr(0);
+/// let (addr, new) = (layout.heap_base, 42u64);
+/// image.insert(slot + OFF_ADDR, addr);
+/// image.insert(slot + OFF_OLD, new);
+/// image.insert(slot + OFF_TXID, 1);
+/// image.insert(slot + OFF_CSUM, checksum(addr, new, 1));
+///
+/// let r = recover_redo(&mut image, &layout);
+/// assert_eq!(r.committed_txid, 1);
+/// assert_eq!(image[&addr], 42); // replayed forward
+/// # let _ = OFF_APPLIED;
+/// ```
+pub fn recover_redo(image: &mut NvmImage, layout: &Layout) -> RecoveryResult {
+    let committed = image.get(&layout.log_header).copied().unwrap_or(0);
+    let applied = image
+        .get(&(layout.log_header + OFF_APPLIED))
+        .copied()
+        .unwrap_or(0);
+    let mut entries: Vec<crate::log::LogEntry> = (0..layout.log_slots)
+        .filter_map(|i| {
+            decode_entry(layout.slot_addr(i), |w| {
+                image.get(&w).copied().unwrap_or(0)
+            })
+        })
+        .filter(|e| e.txid > applied && e.txid <= committed)
+        .collect();
+    // Oldest transaction first: later transactions' values win.
+    entries.sort_by_key(|e| e.txid);
+    let replayed = entries.len();
+    for e in &entries {
+        // For redo entries the payload field carries the NEW value.
+        image.insert(e.addr, e.old);
+    }
+    RecoveryResult {
+        committed_txid: committed,
+        rolled_back: replayed,
+    }
+}
+
+/// Redo-logging counterpart of [`TxWriter`](crate::TxWriter): the same
+/// lifecycle, lowering per architecture configuration, producing the same
+/// [`TxOutput`] (so the crash checker and the simulator run unchanged —
+/// pair it with [`recover_redo`] via
+/// [`CrashChecker::with_recovery`](crate::CrashChecker::with_recovery)).
+#[derive(Debug)]
+pub struct RedoTxWriter {
+    layout: Layout,
+    arch: ArchConfig,
+    mem: SimMemory,
+    builder: TraceBuilder,
+    heap: BumpHeap,
+    txid: Option<u64>,
+    next_txid: u64,
+    log_tail: u64,
+    write_set: HashMap<VAddr, u64>,
+    write_order: Vec<VAddr>,
+    key_rotor: u8,
+    records: Vec<TxRecord>,
+    init_writes: Vec<(u64, u64)>,
+    init_finished: bool,
+}
+
+impl RedoTxWriter {
+    /// A writer over a fresh machine.
+    pub fn new(layout: Layout, arch: ArchConfig) -> RedoTxWriter {
+        RedoTxWriter {
+            layout,
+            arch,
+            mem: SimMemory::new(),
+            builder: TraceBuilder::new(),
+            heap: BumpHeap::new(layout.heap_base, 1 << 30),
+            txid: None,
+            next_txid: 1,
+            log_tail: 0,
+            write_set: HashMap::new(),
+            write_order: Vec::new(),
+            key_rotor: 0,
+            records: Vec::new(),
+            init_writes: Vec::new(),
+            init_finished: false,
+        }
+    }
+
+    fn next_key(&mut self) -> Edk {
+        self.key_rotor = if self.key_rotor >= 15 { 1 } else { self.key_rotor + 1 };
+        Edk::new(self.key_rotor).expect("rotor stays in 1..=15")
+    }
+
+    /// Allocates persistent heap space.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the heap is exhausted.
+    pub fn heap_alloc(&mut self, size: u64, align: u64) -> VAddr {
+        self.heap.alloc(size, align).expect("heap exhausted")
+    }
+
+    /// Preloads initial pool contents (no instructions).
+    ///
+    /// # Panics
+    ///
+    /// Panics after `finish_init`.
+    pub fn write_init(&mut self, addr: VAddr, value: u64) {
+        assert!(!self.init_finished, "init phase is over");
+        self.mem.write(addr, value);
+        self.init_writes.push((addr, value));
+    }
+
+    /// Opens the measured phase.
+    pub fn finish_init(&mut self) {
+        assert!(!self.init_finished, "finish_init called twice");
+        self.init_finished = true;
+    }
+
+    /// Opens a failure-atomic region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if one is already open.
+    pub fn begin_tx(&mut self) {
+        assert!(self.init_finished, "call finish_init first");
+        assert!(self.txid.is_none(), "transaction already open");
+        let id = self.next_txid;
+        self.next_txid += 1;
+        self.txid = Some(id);
+        self.write_set.clear();
+        self.write_order.clear();
+        self.records.push(TxRecord {
+            txid: id,
+            writes: Vec::new(),
+        });
+        self.builder.compute_chain(2);
+    }
+
+    /// A transactional read: consults the write set first (redo's read
+    /// indirection), then memory.
+    pub fn read(&mut self, addr: VAddr) -> u64 {
+        // Write-set lookup cost (hash + compare).
+        self.builder.compute_chain(2);
+        let value = self
+            .write_set
+            .get(&addr)
+            .copied()
+            .unwrap_or_else(|| self.mem.read(addr));
+        self.builder.load(addr, value);
+        value
+    }
+
+    /// A transactional write: appends a redo entry and persists it — no
+    /// ordering against anything else until commit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is open.
+    pub fn write(&mut self, addr: VAddr, new: u64) {
+        let txid = self.txid.expect("no open transaction");
+        let old = self
+            .write_set
+            .get(&addr)
+            .copied()
+            .unwrap_or_else(|| self.mem.read(addr));
+        if !self.write_set.contains_key(&addr) {
+            self.write_order.push(addr);
+        }
+        self.write_set.insert(addr, new);
+        self.records
+            .last_mut()
+            .expect("record opened at begin_tx")
+            .writes
+            .push((addr, old, new));
+
+        // Append the entry.
+        let tail = self.log_tail;
+        self.log_tail += 1;
+        let tail_ptr = self.layout.log_tail_ptr;
+        self.builder.load(tail_ptr, tail);
+        self.builder.store(tail_ptr, tail + 1);
+
+        let slot = self.layout.slot_addr(tail);
+        let csum = checksum(addr, new, txid);
+        let base = self.builder.lea(slot);
+        self.builder.store_pair_to(base, slot + OFF_ADDR, [addr, new]);
+        self.builder
+            .store_pair_to(base, slot + OFF_TXID, [txid, csum]);
+        // Persist the entry; under EDE it produces a key so commit's
+        // WAIT_ALL_KEYS covers it. No fence in any configuration!
+        if self.arch.uses_ede() {
+            let k = self.next_key();
+            self.builder.cvap_to_edk(base, slot, EdkPair::producer(k));
+        } else {
+            self.builder.cvap_to(base, slot);
+        }
+        self.builder.release(base);
+        self.mem.write(slot + OFF_ADDR, addr);
+        self.mem.write(slot + OFF_ADDR + 8, new);
+        self.mem.write(slot + OFF_TXID, txid);
+        self.mem.write(slot + OFF_TXID + 8, csum);
+    }
+
+    /// Commits: entries → *committed* marker → in-place apply →
+    /// *applied* marker, each boundary ordered per the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is open.
+    pub fn commit_tx(&mut self) {
+        let txid = self.txid.take().expect("no open transaction");
+        let header = self.layout.log_header;
+
+        // Boundary 1: all entries persisted before the committed marker.
+        self.fence_boundary();
+        self.builder.store(header, txid);
+        self.emit_persist(header);
+        // Boundary 2: marker persisted before the in-place writes may
+        // persist (otherwise a crash could leave applied data with no
+        // replayable log and no marker — torn for *older* values).
+        self.fence_boundary();
+        self.mem.write(header, txid);
+
+        // Apply the write set in place and persist it.
+        let order = std::mem::take(&mut self.write_order);
+        for addr in &order {
+            let new = self.write_set[addr];
+            let base = self.builder.lea(*addr);
+            self.builder.store_to(base, *addr, new);
+            if self.arch.uses_ede() {
+                let k = self.next_key();
+                self.builder.cvap_to_edk(base, *addr, EdkPair::producer(k));
+            } else {
+                self.builder.cvap_to(base, *addr);
+            }
+            self.builder.release(base);
+            self.mem.write(*addr, new);
+        }
+        // Boundary 3: applied marker only after all in-place persists.
+        self.fence_boundary();
+        self.builder.store(header + OFF_APPLIED, txid);
+        self.emit_persist(header + OFF_APPLIED);
+        self.fence_boundary();
+        self.mem.write(header + OFF_APPLIED, txid);
+
+        // Truncate: slots reusable once applied.
+        self.log_tail = 0;
+        self.builder.store(self.layout.log_tail_ptr, 0);
+        self.write_set.clear();
+    }
+
+    fn fence_boundary(&mut self) {
+        match self.arch {
+            ArchConfig::Baseline => {
+                self.builder.dsb_sy();
+            }
+            ArchConfig::StoreBarrierUnsafe => {
+                self.builder.dmb_st();
+            }
+            ArchConfig::IssueQueue | ArchConfig::WriteBuffer => {
+                self.builder.wait_all_keys();
+            }
+            ArchConfig::Unsafe => {}
+        }
+    }
+
+    fn emit_persist(&mut self, addr: VAddr) {
+        if self.arch.uses_ede() {
+            let base = self.builder.lea(addr);
+            let k = self.next_key();
+            self.builder.cvap_to_edk(base, addr, EdkPair::producer(k));
+            self.builder.release(base);
+        } else {
+            self.builder.cvap(addr);
+        }
+    }
+
+    /// Ends code generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics with an open transaction.
+    pub fn finish(self) -> TxOutput {
+        assert!(self.txid.is_none(), "transaction still open");
+        TxOutput {
+            program: self.builder.finish(),
+            records: self.records,
+            memory: self.mem,
+            layout: self.layout,
+            init_writes: self.init_writes,
+            tx_phase_start: None,
+        }
+    }
+
+    /// Trace length so far (for fence-count comparisons).
+    pub fn trace_len(&self) -> usize {
+        self.builder.len()
+    }
+}
+
+/// Generates the `update` kernel over redo logging (for the undo-vs-redo
+/// ablation).
+pub fn redo_update_kernel(
+    arch: ArchConfig,
+    ops: usize,
+    ops_per_tx: usize,
+    elems: u64,
+    seed: u64,
+) -> TxOutput {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut tx = RedoTxWriter::new(Layout::standard(), arch);
+    let base = tx.heap_alloc(elems * 8, 64);
+    for i in 0..elems {
+        tx.write_init(base + i * 8, i);
+    }
+    tx.finish_init();
+    let mut in_tx = 0;
+    for _ in 0..ops {
+        if in_tx == 0 {
+            tx.begin_tx();
+        }
+        let idx = rng.gen_range(0..elems);
+        let v: u64 = rng.gen();
+        tx.write(base + idx * 8, v);
+        in_tx += 1;
+        if in_tx == ops_per_tx {
+            tx.commit_tx();
+            in_tx = 0;
+        }
+    }
+    if in_tx > 0 {
+        tx.commit_tx();
+    }
+    tx.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ede_isa::{InstKind, Program};
+
+    fn one_tx(arch: ArchConfig) -> TxOutput {
+        let mut tx = RedoTxWriter::new(Layout::standard(), arch);
+        let a = tx.heap_alloc(16, 8);
+        tx.write_init(a, 1);
+        tx.write_init(a + 8, 2);
+        tx.finish_init();
+        tx.begin_tx();
+        tx.write(a, 10);
+        tx.write(a + 8, 20);
+        tx.commit_tx();
+        tx.finish()
+    }
+
+    fn count(p: &Program, k: InstKind) -> usize {
+        p.iter().filter(|(_, i)| i.kind() == k).count()
+    }
+
+    #[test]
+    fn baseline_fences_per_transaction_not_per_write() {
+        let p = one_tx(ArchConfig::Baseline).program;
+        // Four boundaries per commit, none per write.
+        assert_eq!(count(&p, InstKind::FenceFull), 4);
+    }
+
+    #[test]
+    fn undo_needs_more_fences_than_redo() {
+        let redo = one_tx(ArchConfig::Baseline).program;
+        let mut undo = crate::TxWriter::new(Layout::standard(), ArchConfig::Baseline);
+        let a = undo.heap_alloc(16, 8);
+        undo.write_init(a, 1);
+        undo.write_init(a + 8, 2);
+        undo.finish_init();
+        undo.begin_tx();
+        undo.write(a, 10);
+        undo.write(a + 8, 20);
+        undo.commit_tx();
+        let undo = undo.finish().program;
+        assert!(
+            count(&undo, InstKind::FenceFull) > count(&redo, InstKind::FenceFull) - 2,
+            "undo fences scale with writes"
+        );
+    }
+
+    #[test]
+    fn reads_see_the_write_set() {
+        let mut tx = RedoTxWriter::new(Layout::standard(), ArchConfig::Baseline);
+        let a = tx.heap_alloc(8, 8);
+        tx.write_init(a, 5);
+        tx.finish_init();
+        tx.begin_tx();
+        assert_eq!(tx.read(a), 5);
+        tx.write(a, 9);
+        assert_eq!(tx.read(a), 9, "read indirection through the write set");
+        tx.commit_tx();
+        let out = tx.finish();
+        assert_eq!(out.memory.read(a), 9);
+    }
+
+    #[test]
+    fn recovery_replays_committed_unapplied() {
+        let layout = Layout::standard();
+        let mut image = NvmImage::new();
+        let a = layout.heap_base;
+        image.insert(layout.log_header, 2); // committed: 2
+        image.insert(layout.log_header + OFF_APPLIED, 1); // applied: 1
+        // Tx 2's entry (new value 77); in-place still old.
+        let slot = layout.slot_addr(0);
+        image.insert(slot + OFF_ADDR, a);
+        image.insert(slot + OFF_ADDR + 8, 77);
+        image.insert(slot + OFF_TXID, 2);
+        image.insert(slot + OFF_TXID + 8, checksum(a, 77, 2));
+        image.insert(a, 5);
+        let r = recover_redo(&mut image, &layout);
+        assert_eq!(r.committed_txid, 2);
+        assert_eq!(r.rolled_back, 1);
+        assert_eq!(image[&a], 77);
+    }
+
+    #[test]
+    fn recovery_ignores_uncommitted_entries() {
+        let layout = Layout::standard();
+        let mut image = NvmImage::new();
+        let a = layout.heap_base;
+        // No committed marker; an entry from tx 1 persisted.
+        let slot = layout.slot_addr(0);
+        image.insert(slot + OFF_ADDR, a);
+        image.insert(slot + OFF_ADDR + 8, 77);
+        image.insert(slot + OFF_TXID, 1);
+        image.insert(slot + OFF_TXID + 8, checksum(a, 77, 1));
+        let r = recover_redo(&mut image, &layout);
+        assert_eq!(r.rolled_back, 0);
+        assert!(!image.contains_key(&a), "in-place data untouched");
+    }
+
+    #[test]
+    fn records_match_undo_semantics() {
+        let out = one_tx(ArchConfig::WriteBuffer);
+        assert_eq!(out.records.len(), 1);
+        assert_eq!(out.records[0].writes.len(), 2);
+        assert_eq!(out.records[0].writes[0].2, 10);
+    }
+
+    #[test]
+    fn ede_config_has_no_fences() {
+        let p = one_tx(ArchConfig::WriteBuffer).program;
+        assert_eq!(count(&p, InstKind::FenceFull), 0);
+        assert!(count(&p, InstKind::EdeControl) >= 4);
+    }
+
+    #[test]
+    fn kernel_generator_is_deterministic() {
+        let a = redo_update_kernel(ArchConfig::Baseline, 20, 10, 64, 7);
+        let b = redo_update_kernel(ArchConfig::Baseline, 20, 10, 64, 7);
+        assert_eq!(a.program.len(), b.program.len());
+        assert_eq!(a.records, b.records);
+    }
+}

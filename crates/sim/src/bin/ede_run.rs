@@ -1,0 +1,70 @@
+//! Assemble and run an EDE program from a file (or stdin).
+//!
+//! ```sh
+//! cargo run --release -p ede-sim --bin ede-run -- program.s [B|SU|IQ|WB|U]
+//! ```
+//!
+//! Prints the disassembly, cycle count, IPC, and — when the trace contains
+//! EDE instructions — whether every execution dependence was honored.
+
+use ede_isa::{asm, disasm, ArchConfig};
+use ede_sim::runner::{raw_output, run_program};
+use ede_sim::SimConfig;
+use std::io::Read as _;
+
+fn arch_from(label: &str) -> Option<ArchConfig> {
+    ArchConfig::ALL.into_iter().find(|a| a.label() == label)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let (source, name) = match args.get(1).map(String::as_str) {
+        None | Some("-") => {
+            let mut s = String::new();
+            std::io::stdin()
+                .read_to_string(&mut s)
+                .expect("read stdin");
+            (s, "<stdin>".to_string())
+        }
+        Some(path) => (
+            std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            }),
+            path.to_string(),
+        ),
+    };
+    let arch = args
+        .get(2)
+        .map(|l| {
+            arch_from(l).unwrap_or_else(|| {
+                eprintln!("unknown configuration `{l}` (use B, SU, IQ, WB or U)");
+                std::process::exit(1);
+            })
+        })
+        .unwrap_or(ArchConfig::WriteBuffer);
+
+    let program = asm::assemble(&source).unwrap_or_else(|e| {
+        eprintln!("{name}: {e}");
+        std::process::exit(1);
+    });
+    println!("== {name} ({} instructions, {arch} hardware) ==", program.len());
+    print!("{}", disasm::listing(&program));
+
+    let sim = SimConfig::a72();
+    let r = run_program(&name, raw_output(program.clone()), arch, &sim)
+        .unwrap_or_else(|e| {
+            eprintln!("simulation failed: {e}");
+            std::process::exit(1);
+        });
+    println!("\ncycles: {}   retired: {}   IPC: {:.2}", r.cycles, r.retired, r.ipc());
+    if program.iter().any(|(_, i)| i.is_ede()) {
+        let v = ede_core::ordering::check_execution_deps(&program, &r.timings);
+        if v.is_empty() {
+            println!("execution dependences: all honored");
+        } else {
+            println!("execution dependences: {} VIOLATIONS (hardware bug!)", v.len());
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Assemble a program and render its pipeline timeline as an ASCII lane
+//! chart (gem5 `O3PipeView` style).
+//!
+//! ```sh
+//! cargo run --release -p ede-sim --bin pipeview -- program.s [B|SU|IQ|WB|U] [width]
+//! ```
+
+use ede_cpu::ptrace::{render_pipeview, PipeRecorder};
+use ede_cpu::Core;
+use ede_isa::{asm, ArchConfig};
+use ede_mem::MemSystem;
+use ede_sim::SimConfig;
+use std::cell::RefCell;
+use std::io::Read as _;
+use std::rc::Rc;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let (source, name) = match args.get(1).map(String::as_str) {
+        None | Some("-") => {
+            let mut s = String::new();
+            std::io::stdin().read_to_string(&mut s).expect("read stdin");
+            (s, "<stdin>".to_string())
+        }
+        Some(path) => (
+            std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            }),
+            path.to_string(),
+        ),
+    };
+    let arch = args
+        .get(2)
+        .and_then(|l| ArchConfig::ALL.into_iter().find(|a| a.label() == l))
+        .unwrap_or(ArchConfig::WriteBuffer);
+    let width: usize = args.get(3).and_then(|w| w.parse().ok()).unwrap_or(72);
+
+    let program = asm::assemble(&source).unwrap_or_else(|e| {
+        eprintln!("{name}: {e}");
+        std::process::exit(1);
+    });
+    let sim = SimConfig::a72();
+    let rec = Rc::new(RefCell::new(PipeRecorder::new()));
+    let sink = Rc::clone(&rec);
+    let mem = MemSystem::new(sim.mem.clone());
+    let mut core = Core::new(sim.cpu_for(arch), program.clone(), mem);
+    core.set_observer(Box::new(move |ev| sink.borrow_mut().push(ev)));
+    let stats = core.run(sim.max_cycles).unwrap_or_else(|e| {
+        eprintln!("simulation failed: {e}");
+        std::process::exit(1);
+    });
+    drop(core);
+    let rec = Rc::try_unwrap(rec).ok().expect("observer dropped").into_inner();
+
+    println!(
+        "== {name} on {arch} hardware — {} cycles ==",
+        stats.cycles
+    );
+    println!("D dispatch, I issue, X executed, R retire, W drain, C complete, ~ squash\n");
+    print!("{}", render_pipeview(&program, &rec, width));
+}

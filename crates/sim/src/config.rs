@@ -1,0 +1,80 @@
+//! Combined machine configuration (Table I).
+
+use ede_core::EnforcementPoint;
+use ede_cpu::CpuConfig;
+use ede_isa::ArchConfig;
+use ede_mem::MemConfig;
+
+/// The full simulated machine: core + memory system.
+///
+/// # Example
+///
+/// ```
+/// use ede_sim::SimConfig;
+/// use ede_isa::ArchConfig;
+///
+/// let cfg = SimConfig::a72();
+/// let cpu = cfg.cpu_for(ArchConfig::WriteBuffer);
+/// assert!(cpu.enforcement.is_some());
+/// let cpu_b = cfg.cpu_for(ArchConfig::Baseline);
+/// assert!(cpu_b.enforcement.is_none());
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+pub struct SimConfig {
+    /// Core parameters.
+    pub cpu: CpuConfig,
+    /// Memory-system parameters.
+    pub mem: MemConfig,
+    /// Give-up bound for a single run.
+    pub max_cycles: u64,
+}
+
+impl SimConfig {
+    /// The paper's Table I machine.
+    pub fn a72() -> SimConfig {
+        SimConfig {
+            cpu: CpuConfig::a72(),
+            mem: MemConfig::a72_hybrid(),
+            max_cycles: 2_000_000_000,
+        }
+    }
+
+    /// The core configuration for one architecture configuration: EDE
+    /// enforcement is selected for IQ/WB, absent otherwise.
+    pub fn cpu_for(&self, arch: ArchConfig) -> CpuConfig {
+        let mut cpu = self.cpu.clone();
+        cpu.enforcement = EnforcementPoint::for_arch(arch);
+        cpu
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig::a72()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enforcement_mapping() {
+        let cfg = SimConfig::a72();
+        assert_eq!(
+            cfg.cpu_for(ArchConfig::IssueQueue).enforcement,
+            Some(EnforcementPoint::IssueQueue)
+        );
+        assert_eq!(
+            cfg.cpu_for(ArchConfig::WriteBuffer).enforcement,
+            Some(EnforcementPoint::WriteBuffer)
+        );
+        for arch in [
+            ArchConfig::Baseline,
+            ArchConfig::StoreBarrierUnsafe,
+            ArchConfig::Unsafe,
+        ] {
+            assert_eq!(cfg.cpu_for(arch).enforcement, None);
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Running one workload on one configuration.
+
+use crate::config::SimConfig;
+use ede_core::ordering::{check_execution_deps, InstTiming, Violation};
+use ede_cpu::core::StallStats;
+use ede_cpu::{Core, CoreError, IssueHistogram};
+use ede_isa::{ArchConfig, InstId, Program};
+use ede_mem::{MemStats, MemSystem, PersistTrace};
+use ede_nvm::{check_crash_consistency, ConsistencyError, TxOutput};
+use ede_workloads::{Workload, WorkloadParams};
+
+/// Everything one simulation produced.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Which workload ran.
+    pub workload: String,
+    /// Which configuration it targeted.
+    pub arch: ArchConfig,
+    /// Total cycles, including the initialization phase.
+    pub cycles: u64,
+    /// Cycles spent in the transaction phase (the measured region).
+    pub tx_cycles: u64,
+    /// Instructions retired.
+    pub retired: u64,
+    /// Pipeline squashes.
+    pub squashes: u64,
+    /// Zero-dispatch cycles by cause (diagnostics).
+    pub stalls: StallStats,
+    /// Issue-width histogram (Figure 11).
+    pub issue_hist: IssueHistogram,
+    /// Persist-buffer occupancy histogram sampled at media writes
+    /// (Figure 10): index = pending writes, value = samples.
+    pub nvm_occupancy: Vec<u64>,
+    /// Memory-system counters.
+    pub mem_stats: MemStats,
+    /// Per-instruction observed timing.
+    pub timings: Vec<InstTiming>,
+    /// Store/persist event record (crash reconstruction).
+    pub trace: PersistTrace,
+    /// The generated code and transaction record.
+    pub output: TxOutput,
+}
+
+impl RunResult {
+    /// Retired instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired as f64 / self.cycles as f64
+        }
+    }
+
+    /// Validates that every EDE execution dependence in the trace was
+    /// honored by this run (empty = correct).
+    pub fn execution_violations(&self) -> Vec<Violation> {
+        check_execution_deps(&self.output.program, &self.timings)
+    }
+
+    /// Checks failure atomicity at `samples` crash instants spread over
+    /// the transaction phase.
+    ///
+    /// # Errors
+    ///
+    /// The first violating `(cycle, error)` pair — expected for the
+    /// crash-unsafe configurations.
+    pub fn crash_consistent_sampled(
+        &self,
+        samples: u64,
+    ) -> Result<(), (u64, ConsistencyError)> {
+        let from = self.tx_phase_start_cycle();
+        check_crash_consistency(&self.output, &self.trace, from, samples)
+    }
+
+    /// Checks failure atomicity at 64 sampled crash instants.
+    ///
+    /// # Errors
+    ///
+    /// See [`crash_consistent_sampled`](Self::crash_consistent_sampled).
+    pub fn crash_consistent(&self) -> Result<(), (u64, ConsistencyError)> {
+        self.crash_consistent_sampled(64)
+    }
+
+    /// The cycle at which the initialization phase's barrier completed.
+    pub fn tx_phase_start_cycle(&self) -> u64 {
+        match self.output.tx_phase_start {
+            // The instruction before the phase start is the init DSB.
+            Some(InstId(0)) | None => 0,
+            Some(id) => self.timings[id.index() - 1].complete,
+        }
+    }
+}
+
+/// Generates the workload's trace for `arch` and simulates it.
+///
+/// # Errors
+///
+/// [`CoreError::CycleLimit`] if the run exceeds `sim.max_cycles`.
+pub fn run_workload(
+    workload: &dyn Workload,
+    params: &WorkloadParams,
+    arch: ArchConfig,
+    sim: &SimConfig,
+) -> Result<RunResult, CoreError> {
+    let output = workload.generate(params, arch);
+    run_program(workload.name(), output, arch, sim)
+}
+
+/// Simulates an already-generated program (for custom traces).
+///
+/// # Errors
+///
+/// [`CoreError::CycleLimit`] if the run exceeds `sim.max_cycles`.
+pub fn run_program(
+    name: &str,
+    output: TxOutput,
+    arch: ArchConfig,
+    sim: &SimConfig,
+) -> Result<RunResult, CoreError> {
+    let mem = MemSystem::new(sim.mem.clone());
+    let mut core = Core::new(sim.cpu_for(arch), output.program.clone(), mem);
+    let stats = core.run(sim.max_cycles)?;
+    let mut mem = core.into_mem();
+    // Drain in-flight media writes so the persist trace and the buffer
+    // occupancy histogram cover the whole run.
+    let mut now = stats.cycles;
+    while !mem.idle() {
+        now += 1;
+        mem.tick(now);
+    }
+    let mem_stats = *mem.stats();
+    let nvm_occupancy = mem.persist_buffer().occupancy_histogram().to_vec();
+    let trace = mem.into_trace();
+
+    let mut result = RunResult {
+        workload: name.to_string(),
+        arch,
+        cycles: stats.cycles,
+        tx_cycles: 0,
+        retired: stats.retired,
+        squashes: stats.squashes,
+        stalls: stats.stalls,
+        issue_hist: stats.issue_hist,
+        nvm_occupancy,
+        mem_stats,
+        timings: stats.timings,
+        trace,
+        output,
+    };
+    result.tx_cycles = result.cycles.saturating_sub(result.tx_phase_start_cycle());
+    Ok(result)
+}
+
+/// Builds a [`TxOutput`] wrapper around a raw program with no transaction
+/// record (for microbenchmarks and examples).
+pub fn raw_output(program: Program) -> TxOutput {
+    TxOutput {
+        program,
+        records: Vec::new(),
+        memory: ede_nvm::SimMemory::new(),
+        layout: ede_nvm::Layout::standard(),
+        init_writes: Vec::new(),
+        tx_phase_start: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ede_workloads::update::Update;
+
+    fn small_params() -> WorkloadParams {
+        WorkloadParams {
+            ops: 30,
+            ops_per_tx: 10,
+            array_elems: 128,
+            ..WorkloadParams::default()
+        }
+    }
+
+    #[test]
+    fn update_runs_on_all_configs() {
+        let params = small_params();
+        let sim = SimConfig::a72();
+        for arch in ArchConfig::ALL {
+            let r = run_workload(&Update, &params, arch, &sim).expect("completes");
+            assert_eq!(r.arch, arch);
+            assert!(r.cycles > 0);
+            assert!(r.tx_cycles > 0);
+            assert!(r.tx_cycles <= r.cycles);
+            assert!(r.ipc() > 0.0);
+        }
+    }
+
+    #[test]
+    fn ede_runs_honor_execution_deps() {
+        let params = small_params();
+        let sim = SimConfig::a72();
+        for arch in [ArchConfig::IssueQueue, ArchConfig::WriteBuffer] {
+            let r = run_workload(&Update, &params, arch, &sim).unwrap();
+            assert!(r.execution_violations().is_empty());
+        }
+    }
+
+    #[test]
+    fn safe_configs_are_crash_consistent() {
+        let params = small_params();
+        let sim = SimConfig::a72();
+        for arch in ArchConfig::ALL.into_iter().filter(|a| a.is_crash_safe()) {
+            let r = run_workload(&Update, &params, arch, &sim).unwrap();
+            r.crash_consistent()
+                .unwrap_or_else(|(c, e)| panic!("{arch}: cycle {c}: {e}"));
+        }
+    }
+
+    #[test]
+    fn raw_program_runs() {
+        let mut b = ede_isa::TraceBuilder::new();
+        b.store(0x1_0000_0000, 1);
+        b.cvap(0x1_0000_0000);
+        b.dsb_sy();
+        let r = run_program("raw", raw_output(b.finish()), ArchConfig::Baseline, &SimConfig::a72())
+            .unwrap();
+        assert_eq!(r.retired, 6);
+    }
+}

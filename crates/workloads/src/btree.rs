@@ -1,0 +1,324 @@
+//! Persistent B-tree with 3–7 keys per node (Table II).
+//!
+//! Insert-only, as in `pmembench`: every structural write goes through the
+//! undo-logging transaction framework, and every traversal step emits the
+//! loads and compare/branch instructions real search code performs.
+
+use crate::{mispredict, rng_for, Workload, WorkloadParams};
+use ede_isa::ArchConfig;
+use ede_nvm::{Layout, SimMemory, TxOutput, TxWriter};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Maximum keys per node; nodes split at this size, leaving at least 3.
+const MAX_KEYS: u64 = 7;
+/// Word offsets within a node.
+const NKEYS: u64 = 0;
+const LEAF: u64 = 1;
+const KEYS: u64 = 2;
+const VALS: u64 = KEYS + MAX_KEYS;
+const CHILD: u64 = VALS + MAX_KEYS;
+/// Node footprint: counts + 7 keys + 7 values + 8 children.
+const NODE_WORDS: u64 = CHILD + MAX_KEYS + 1;
+
+/// B-tree insert workload.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BTree;
+
+impl Workload for BTree {
+    fn name(&self) -> &'static str {
+        "btree"
+    }
+
+    fn description(&self) -> &'static str {
+        "B-tree implementation with between 3 and 7 keys per node."
+    }
+
+    fn generate(&self, params: &WorkloadParams, arch: ArchConfig) -> TxOutput {
+        let mut keys = rng_for(params, 0xb7ee);
+        let mut branches = rng_for(params, 0xb7ef);
+        let mut tx = TxWriter::new(Layout::standard(), arch);
+        let root_ptr = tx.heap_alloc(8, 8);
+        tx.write_init(root_ptr, 0);
+        if params.prepopulate > 0 {
+            let mut pre = rng_for(params, 0xb7ee ^ 0x5115);
+            tx.begin_prepopulate();
+            let mut t = Builder {
+                tx: &mut tx,
+                branches: &mut branches,
+                params,
+            };
+            for _ in 0..params.prepopulate {
+                let key: u64 = pre.gen();
+                let val: u64 = pre.gen();
+                t.insert(root_ptr, key, val);
+            }
+            tx.end_prepopulate();
+        }
+        tx.finish_init();
+
+        let mut t = Builder {
+            tx: &mut tx,
+            branches: &mut branches,
+            params,
+        };
+        let mut in_tx = 0usize;
+        for _ in 0..params.ops {
+            if in_tx == 0 {
+                t.tx.begin_tx();
+            }
+            let key: u64 = keys.gen();
+            let val: u64 = keys.gen();
+            t.insert(root_ptr, key, val);
+            in_tx += 1;
+            if in_tx == params.ops_per_tx {
+                t.tx.commit_tx();
+                in_tx = 0;
+            }
+        }
+        if in_tx > 0 {
+            t.tx.commit_tx();
+        }
+        tx.finish()
+    }
+}
+
+struct Builder<'a> {
+    tx: &'a mut TxWriter,
+    branches: &'a mut SmallRng,
+    params: &'a WorkloadParams,
+}
+
+impl Builder<'_> {
+    fn rd(&mut self, node: u64, off: u64) -> u64 {
+        self.tx.read(node + off * 8)
+    }
+
+    fn wr(&mut self, node: u64, off: u64, val: u64) {
+        self.tx.write(node + off * 8, val);
+    }
+
+    fn cmp(&mut self, a: u64, b: u64) {
+        let m = mispredict(self.branches, self.params);
+        self.tx.compare_branch(a, b, m);
+    }
+
+    fn alloc_node(&mut self, leaf: bool) -> u64 {
+        let n = self.tx.heap_alloc(NODE_WORDS * 8, 64);
+        self.wr(n, LEAF, leaf as u64);
+        n
+    }
+
+    fn insert(&mut self, root_ptr: u64, key: u64, val: u64) {
+        let root = self.tx.read(root_ptr);
+        self.cmp(root, 0);
+        if root == 0 {
+            let n = self.alloc_node(true);
+            self.wr(n, KEYS, key);
+            self.wr(n, VALS, val);
+            self.wr(n, NKEYS, 1);
+            self.tx.write(root_ptr, n);
+            return;
+        }
+        let mut node = root;
+        if self.rd(root, NKEYS) == MAX_KEYS {
+            let new_root = self.alloc_node(false);
+            self.wr(new_root, CHILD, root);
+            self.split_child(new_root, 0);
+            self.tx.write(root_ptr, new_root);
+            node = new_root;
+        }
+        self.insert_nonfull(node, key, val);
+    }
+
+    fn insert_nonfull(&mut self, mut node: u64, key: u64, val: u64) {
+        loop {
+            let nk = self.rd(node, NKEYS);
+            // Linear key search with emitted comparisons.
+            let mut i = 0;
+            let mut found = false;
+            while i < nk {
+                let k = self.rd(node, KEYS + i);
+                self.cmp(key, k);
+                if key == k {
+                    found = true;
+                    break;
+                }
+                if key < k {
+                    break;
+                }
+                i += 1;
+            }
+            if found {
+                self.wr(node, VALS + i, val);
+                return;
+            }
+            if self.rd(node, LEAF) == 1 {
+                // Shift keys/values right, insert at i.
+                let mut j = nk;
+                while j > i {
+                    let pk = self.rd(node, KEYS + j - 1);
+                    let pv = self.rd(node, VALS + j - 1);
+                    self.wr(node, KEYS + j, pk);
+                    self.wr(node, VALS + j, pv);
+                    j -= 1;
+                }
+                self.wr(node, KEYS + i, key);
+                self.wr(node, VALS + i, val);
+                self.wr(node, NKEYS, nk + 1);
+                return;
+            }
+            let child = self.rd(node, CHILD + i);
+            if self.rd(child, NKEYS) == MAX_KEYS {
+                self.split_child(node, i);
+                let k = self.rd(node, KEYS + i);
+                self.cmp(key, k);
+                if key == k {
+                    self.wr(node, VALS + i, val);
+                    return;
+                }
+                if key > k {
+                    i += 1;
+                }
+            }
+            node = self.rd(node, CHILD + i);
+        }
+    }
+
+    /// Splits the full child at `parent.children[i]`, promoting its median
+    /// key into the parent.
+    fn split_child(&mut self, parent: u64, i: u64) {
+        let child = self.rd(parent, CHILD + i);
+        let child_leaf = self.rd(child, LEAF);
+        let mid = MAX_KEYS / 2; // 3: left keeps 3, median up, right gets 3
+        let right = self.alloc_node(child_leaf == 1);
+
+        for j in 0..(MAX_KEYS - mid - 1) {
+            let k = self.rd(child, KEYS + mid + 1 + j);
+            let v = self.rd(child, VALS + mid + 1 + j);
+            self.wr(right, KEYS + j, k);
+            self.wr(right, VALS + j, v);
+        }
+        if child_leaf == 0 {
+            for j in 0..(MAX_KEYS - mid) {
+                let c = self.rd(child, CHILD + mid + 1 + j);
+                self.wr(right, CHILD + j, c);
+            }
+        }
+        self.wr(right, NKEYS, MAX_KEYS - mid - 1);
+        let median_k = self.rd(child, KEYS + mid);
+        let median_v = self.rd(child, VALS + mid);
+        self.wr(child, NKEYS, mid);
+
+        // Shift the parent's keys/children right of position i.
+        let pk = self.rd(parent, NKEYS);
+        let mut j = pk;
+        while j > i {
+            let k = self.rd(parent, KEYS + j - 1);
+            let v = self.rd(parent, VALS + j - 1);
+            let c = self.rd(parent, CHILD + j);
+            self.wr(parent, KEYS + j, k);
+            self.wr(parent, VALS + j, v);
+            self.wr(parent, CHILD + j + 1, c);
+            j -= 1;
+        }
+        self.wr(parent, KEYS + i, median_k);
+        self.wr(parent, VALS + i, median_v);
+        self.wr(parent, CHILD + i + 1, right);
+        self.wr(parent, NKEYS, pk + 1);
+    }
+}
+
+/// Pure lookup over the functional memory (test oracle; emits nothing).
+pub fn lookup(mem: &SimMemory, root_ptr: u64, key: u64) -> Option<u64> {
+    let mut node = mem.read(root_ptr);
+    if node == 0 {
+        return None;
+    }
+    loop {
+        let nk = mem.read(node + NKEYS * 8);
+        let mut i = 0;
+        while i < nk {
+            let k = mem.read(node + (KEYS + i) * 8);
+            if key == k {
+                return Some(mem.read(node + (VALS + i) * 8));
+            }
+            if key < k {
+                break;
+            }
+            i += 1;
+        }
+        if mem.read(node + LEAF * 8) == 1 {
+            return None;
+        }
+        node = mem.read(node + (CHILD + i) * 8);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn model_keys(params: &WorkloadParams) -> BTreeMap<u64, u64> {
+        let mut rng = rng_for(params, 0xb7ee);
+        let mut m = BTreeMap::new();
+        for _ in 0..params.ops {
+            let k: u64 = rng.gen();
+            let v: u64 = rng.gen();
+            m.insert(k, v);
+        }
+        m
+    }
+
+    #[test]
+    fn matches_btreemap_oracle() {
+        let params = WorkloadParams {
+            ops: 300,
+            ops_per_tx: 50,
+            prepopulate: 0,
+            ..WorkloadParams::default()
+        };
+        let out = BTree.generate(&params, ArchConfig::Baseline);
+        let root_ptr = out.init_writes[0].0;
+        let model = model_keys(&params);
+        for (&k, &v) in &model {
+            assert_eq!(lookup(&out.memory, root_ptr, k), Some(v), "key {k:#x}");
+        }
+        // Absent keys stay absent.
+        assert_eq!(lookup(&out.memory, root_ptr, 0xdead_beef), None);
+    }
+
+    #[test]
+    fn splits_happen() {
+        let params = WorkloadParams {
+            ops: 100,
+            ops_per_tx: 100,
+            prepopulate: 0,
+            ..WorkloadParams::default()
+        };
+        let out = BTree.generate(&params, ArchConfig::Baseline);
+        let root_ptr = out.init_writes[0].0;
+        let root = out.memory.read(root_ptr);
+        // 100 random keys cannot fit in one 7-key node: the root must be
+        // internal by now.
+        assert_eq!(out.memory.read(root + LEAF * 8), 0);
+    }
+
+    #[test]
+    fn trace_has_search_branches() {
+        let params = WorkloadParams {
+            ops: 50,
+            ops_per_tx: 50,
+            prepopulate: 0,
+            ..WorkloadParams::default()
+        };
+        let out = BTree.generate(&params, ArchConfig::WriteBuffer);
+        let branches = out
+            .program
+            .iter()
+            .filter(|(_, i)| i.kind() == ede_isa::InstKind::Branch)
+            .count();
+        assert!(branches > params.ops, "each insert searches with branches");
+    }
+}

@@ -1,0 +1,847 @@
+//! Persistent red–black tree with sentinel nodes (Table II's `rbtree`).
+//!
+//! Classic CLRS insertion with recolorings and rotations; a single shared
+//! sentinel stands in for every nil leaf (and for the root's parent), as
+//! in PMDK's rbtree example. Every pointer and color update is a logged
+//! transactional write.
+
+use crate::{mispredict, rng_for, Workload, WorkloadParams};
+use ede_isa::ArchConfig;
+use ede_nvm::{Layout, SimMemory, TxOutput, TxWriter};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Word offsets within a node: key, value, color, left, right, parent.
+const KEY: u64 = 0;
+const VAL: u64 = 1;
+const COLOR: u64 = 2;
+const LEFT: u64 = 3;
+const RIGHT: u64 = 4;
+const PARENT: u64 = 5;
+const NODE_WORDS: u64 = 6;
+
+const BLACK: u64 = 0;
+const RED: u64 = 1;
+
+/// Red–black tree insert workload.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RbTree;
+
+impl Workload for RbTree {
+    fn name(&self) -> &'static str {
+        "rbtree"
+    }
+
+    fn description(&self) -> &'static str {
+        "Red-black tree implementation with sentinel nodes."
+    }
+
+    fn generate(&self, params: &WorkloadParams, arch: ArchConfig) -> TxOutput {
+        let mut keys = rng_for(params, 0x4b7e);
+        let mut branches = rng_for(params, 0x4b7f);
+        let mut tx = TxWriter::new(Layout::standard(), arch);
+        let root_ptr = tx.heap_alloc(8, 8);
+        // The sentinel: black, self-referential children.
+        let nil = tx.heap_alloc(NODE_WORDS * 8, 64);
+        tx.write_init(root_ptr, nil);
+        tx.write_init(nil + COLOR * 8, BLACK);
+        tx.write_init(nil + LEFT * 8, nil);
+        tx.write_init(nil + RIGHT * 8, nil);
+        tx.write_init(nil + PARENT * 8, nil);
+        if params.prepopulate > 0 {
+            let mut pre = rng_for(params, 0x4b7e ^ 0x5115);
+            tx.begin_prepopulate();
+            let mut t = Builder {
+                tx: &mut tx,
+                branches: &mut branches,
+                params,
+                nil,
+                root_ptr,
+            };
+            for _ in 0..params.prepopulate {
+                let key: u64 = pre.gen();
+                let val: u64 = pre.gen();
+                t.insert(key, val);
+            }
+            tx.end_prepopulate();
+        }
+        tx.finish_init();
+
+        let mut t = Builder {
+            tx: &mut tx,
+            branches: &mut branches,
+            params,
+            nil,
+            root_ptr,
+        };
+        let mut in_tx = 0usize;
+        for _ in 0..params.ops {
+            if in_tx == 0 {
+                t.tx.begin_tx();
+            }
+            let key: u64 = keys.gen();
+            let val: u64 = keys.gen();
+            t.insert(key, val);
+            in_tx += 1;
+            if in_tx == params.ops_per_tx {
+                t.tx.commit_tx();
+                in_tx = 0;
+            }
+        }
+        if in_tx > 0 {
+            t.tx.commit_tx();
+        }
+        tx.finish()
+    }
+}
+
+struct Builder<'a> {
+    tx: &'a mut TxWriter,
+    branches: &'a mut SmallRng,
+    params: &'a WorkloadParams,
+    nil: u64,
+    root_ptr: u64,
+}
+
+impl Builder<'_> {
+    fn rd(&mut self, node: u64, off: u64) -> u64 {
+        self.tx.read(node + off * 8)
+    }
+
+    fn wr(&mut self, node: u64, off: u64, v: u64) {
+        self.tx.write(node + off * 8, v);
+    }
+
+    fn cmp(&mut self, a: u64, b: u64) {
+        let m = mispredict(self.branches, self.params);
+        self.tx.compare_branch(a, b, m);
+    }
+
+    fn root(&mut self) -> u64 {
+        self.tx.read(self.root_ptr)
+    }
+
+    fn set_root(&mut self, n: u64) {
+        self.tx.write(self.root_ptr, n);
+    }
+
+    fn insert(&mut self, key: u64, val: u64) {
+        let nil = self.nil;
+        let mut parent = nil;
+        let mut cur = self.root();
+        while cur != nil {
+            let k = self.rd(cur, KEY);
+            self.cmp(key, k);
+            if key == k {
+                self.wr(cur, VAL, val);
+                return;
+            }
+            parent = cur;
+            cur = if key < k {
+                self.rd(cur, LEFT)
+            } else {
+                self.rd(cur, RIGHT)
+            };
+        }
+        let node = self.tx.heap_alloc(NODE_WORDS * 8, 64);
+        self.wr(node, KEY, key);
+        self.wr(node, VAL, val);
+        self.wr(node, COLOR, RED);
+        self.wr(node, LEFT, nil);
+        self.wr(node, RIGHT, nil);
+        self.wr(node, PARENT, parent);
+        self.cmp(parent, nil);
+        if parent == nil {
+            self.set_root(node);
+        } else {
+            let pk = self.rd(parent, KEY);
+            if key < pk {
+                self.wr(parent, LEFT, node);
+            } else {
+                self.wr(parent, RIGHT, node);
+            }
+        }
+        self.fixup(node);
+    }
+
+    fn rotate_left(&mut self, x: u64) {
+        let nil = self.nil;
+        let y = self.rd(x, RIGHT);
+        let yl = self.rd(y, LEFT);
+        self.wr(x, RIGHT, yl);
+        if yl != nil {
+            self.wr(yl, PARENT, x);
+        }
+        let xp = self.rd(x, PARENT);
+        self.wr(y, PARENT, xp);
+        self.cmp(xp, nil);
+        if xp == nil {
+            self.set_root(y);
+        } else if self.rd(xp, LEFT) == x {
+            self.wr(xp, LEFT, y);
+        } else {
+            self.wr(xp, RIGHT, y);
+        }
+        self.wr(y, LEFT, x);
+        self.wr(x, PARENT, y);
+    }
+
+    fn rotate_right(&mut self, x: u64) {
+        let nil = self.nil;
+        let y = self.rd(x, LEFT);
+        let yr = self.rd(y, RIGHT);
+        self.wr(x, LEFT, yr);
+        if yr != nil {
+            self.wr(yr, PARENT, x);
+        }
+        let xp = self.rd(x, PARENT);
+        self.wr(y, PARENT, xp);
+        self.cmp(xp, nil);
+        if xp == nil {
+            self.set_root(y);
+        } else if self.rd(xp, RIGHT) == x {
+            self.wr(xp, RIGHT, y);
+        } else {
+            self.wr(xp, LEFT, y);
+        }
+        self.wr(y, RIGHT, x);
+        self.wr(x, PARENT, y);
+    }
+
+    fn fixup(&mut self, mut z: u64) {
+        loop {
+            let zp = self.rd(z, PARENT);
+            let zp_color = self.rd(zp, COLOR);
+            self.cmp(zp_color, RED);
+            if zp_color != RED {
+                break;
+            }
+            let zpp = self.rd(zp, PARENT);
+            if zp == self.rd(zpp, LEFT) {
+                let uncle = self.rd(zpp, RIGHT);
+                let uc = self.rd(uncle, COLOR);
+                self.cmp(uc, RED);
+                if uc == RED {
+                    self.wr(zp, COLOR, BLACK);
+                    self.wr(uncle, COLOR, BLACK);
+                    self.wr(zpp, COLOR, RED);
+                    z = zpp;
+                } else {
+                    if z == self.rd(zp, RIGHT) {
+                        z = zp;
+                        self.rotate_left(z);
+                    }
+                    let zp2 = self.rd(z, PARENT);
+                    let zpp2 = self.rd(zp2, PARENT);
+                    self.wr(zp2, COLOR, BLACK);
+                    self.wr(zpp2, COLOR, RED);
+                    self.rotate_right(zpp2);
+                }
+            } else {
+                let uncle = self.rd(zpp, LEFT);
+                let uc = self.rd(uncle, COLOR);
+                self.cmp(uc, RED);
+                if uc == RED {
+                    self.wr(zp, COLOR, BLACK);
+                    self.wr(uncle, COLOR, BLACK);
+                    self.wr(zpp, COLOR, RED);
+                    z = zpp;
+                } else {
+                    if z == self.rd(zp, LEFT) {
+                        z = zp;
+                        self.rotate_right(z);
+                    }
+                    let zp2 = self.rd(z, PARENT);
+                    let zpp2 = self.rd(zp2, PARENT);
+                    self.wr(zp2, COLOR, BLACK);
+                    self.wr(zpp2, COLOR, RED);
+                    self.rotate_left(zpp2);
+                }
+            }
+        }
+        let root = self.root();
+        self.wr(root, COLOR, BLACK);
+    }
+
+    /// A traced lookup: walks the tree emitting the loads and compares a
+    /// real search performs (reads only — nothing is logged).
+    fn lookup_traced(&mut self, key: u64) -> Option<u64> {
+        let nil = self.nil;
+        let mut cur = self.root();
+        while cur != nil {
+            let k = self.rd(cur, KEY);
+            self.cmp(key, k);
+            if key == k {
+                return Some(self.rd(cur, VAL));
+            }
+            cur = if key < k {
+                self.rd(cur, LEFT)
+            } else {
+                self.rd(cur, RIGHT)
+            };
+        }
+        None
+    }
+
+    /// `RB-TRANSPLANT` (CLRS): replace subtree `u` with subtree `v`.
+    fn transplant(&mut self, u: u64, v: u64) {
+        let nil = self.nil;
+        let up = self.rd(u, PARENT);
+        self.cmp(up, nil);
+        if up == nil {
+            self.set_root(v);
+        } else if u == self.rd(up, LEFT) {
+            self.wr(up, LEFT, v);
+        } else {
+            self.wr(up, RIGHT, v);
+        }
+        self.wr(v, PARENT, up);
+    }
+
+    fn minimum(&mut self, mut node: u64) -> u64 {
+        let nil = self.nil;
+        loop {
+            let l = self.rd(node, LEFT);
+            self.cmp(l, nil);
+            if l == nil {
+                return node;
+            }
+            node = l;
+        }
+    }
+
+    /// `RB-DELETE` (CLRS, sentinel form). Returns whether the key existed.
+    /// Deleted nodes are leaked (the pool uses bump allocation, like the
+    /// insert-only pmembench setup this extends).
+    fn delete(&mut self, key: u64) -> bool {
+        let nil = self.nil;
+        // Find z.
+        let mut z = self.root();
+        loop {
+            if z == nil {
+                return false;
+            }
+            let k = self.rd(z, KEY);
+            self.cmp(key, k);
+            if key == k {
+                break;
+            }
+            z = if key < k {
+                self.rd(z, LEFT)
+            } else {
+                self.rd(z, RIGHT)
+            };
+        }
+
+        let mut y = z;
+        let mut y_color = self.rd(y, COLOR);
+        let x;
+        let zl = self.rd(z, LEFT);
+        let zr = self.rd(z, RIGHT);
+        self.cmp(zl, nil);
+        if zl == nil {
+            x = zr;
+            self.transplant(z, zr);
+        } else {
+            self.cmp(zr, nil);
+            if zr == nil {
+                x = zl;
+                self.transplant(z, zl);
+            } else {
+                y = self.minimum(zr);
+                y_color = self.rd(y, COLOR);
+                x = self.rd(y, RIGHT);
+                let yp = self.rd(y, PARENT);
+                self.cmp(yp, z);
+                if yp == z {
+                    self.wr(x, PARENT, y);
+                } else {
+                    let xr = self.rd(y, RIGHT);
+                    self.transplant(y, xr);
+                    let zr2 = self.rd(z, RIGHT);
+                    self.wr(y, RIGHT, zr2);
+                    self.wr(zr2, PARENT, y);
+                }
+                self.transplant(z, y);
+                let zl2 = self.rd(z, LEFT);
+                self.wr(y, LEFT, zl2);
+                self.wr(zl2, PARENT, y);
+                let zc = self.rd(z, COLOR);
+                self.wr(y, COLOR, zc);
+            }
+        }
+        self.cmp(y_color, BLACK);
+        if y_color == BLACK {
+            self.delete_fixup(x);
+        }
+        true
+    }
+
+    /// `RB-DELETE-FIXUP` (CLRS): restore the black-height invariant.
+    fn delete_fixup(&mut self, mut x: u64) {
+        loop {
+            let root = self.root();
+            let xc = self.rd(x, COLOR);
+            self.cmp(xc, BLACK);
+            if x == root || xc != BLACK {
+                break;
+            }
+            let xp = self.rd(x, PARENT);
+            if x == self.rd(xp, LEFT) {
+                let mut w = self.rd(xp, RIGHT);
+                if self.rd(w, COLOR) == RED {
+                    self.wr(w, COLOR, BLACK);
+                    self.wr(xp, COLOR, RED);
+                    self.rotate_left(xp);
+                    let xp2 = self.rd(x, PARENT);
+                    w = self.rd(xp2, RIGHT);
+                }
+                let wl = self.rd(w, LEFT);
+                let wr = self.rd(w, RIGHT);
+                let wl_c = self.rd(wl, COLOR);
+                let wr_c = self.rd(wr, COLOR);
+                self.cmp(wl_c, BLACK);
+                if wl_c == BLACK && wr_c == BLACK {
+                    self.wr(w, COLOR, RED);
+                    x = self.rd(x, PARENT);
+                } else {
+                    if wr_c == BLACK {
+                        self.wr(wl, COLOR, BLACK);
+                        self.wr(w, COLOR, RED);
+                        self.rotate_right(w);
+                        let xp2 = self.rd(x, PARENT);
+                        w = self.rd(xp2, RIGHT);
+                    }
+                    let xp2 = self.rd(x, PARENT);
+                    let xp2_c = self.rd(xp2, COLOR);
+                    self.wr(w, COLOR, xp2_c);
+                    self.wr(xp2, COLOR, BLACK);
+                    let wr2 = self.rd(w, RIGHT);
+                    self.wr(wr2, COLOR, BLACK);
+                    self.rotate_left(xp2);
+                    x = self.root();
+                }
+            } else {
+                let mut w = self.rd(xp, LEFT);
+                if self.rd(w, COLOR) == RED {
+                    self.wr(w, COLOR, BLACK);
+                    self.wr(xp, COLOR, RED);
+                    self.rotate_right(xp);
+                    let xp2 = self.rd(x, PARENT);
+                    w = self.rd(xp2, LEFT);
+                }
+                let wl = self.rd(w, LEFT);
+                let wr = self.rd(w, RIGHT);
+                let wl_c = self.rd(wl, COLOR);
+                let wr_c = self.rd(wr, COLOR);
+                self.cmp(wr_c, BLACK);
+                if wl_c == BLACK && wr_c == BLACK {
+                    self.wr(w, COLOR, RED);
+                    x = self.rd(x, PARENT);
+                } else {
+                    if wl_c == BLACK {
+                        self.wr(wr, COLOR, BLACK);
+                        self.wr(w, COLOR, RED);
+                        self.rotate_left(w);
+                        let xp2 = self.rd(x, PARENT);
+                        w = self.rd(xp2, LEFT);
+                    }
+                    let xp2 = self.rd(x, PARENT);
+                    let xp2_c = self.rd(xp2, COLOR);
+                    self.wr(w, COLOR, xp2_c);
+                    self.wr(xp2, COLOR, BLACK);
+                    let wl2 = self.rd(w, LEFT);
+                    self.wr(wl2, COLOR, BLACK);
+                    self.rotate_right(xp2);
+                    x = self.root();
+                }
+            }
+        }
+        self.wr(x, COLOR, BLACK);
+    }
+}
+
+/// Mixed-operation red–black workload (extension beyond Table II's
+/// insert-only `pmembench` setup): 50% inserts, 25% deletes of previously
+/// inserted keys, 25% lookups.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RbMixed;
+
+impl Workload for RbMixed {
+    fn name(&self) -> &'static str {
+        "rbmix"
+    }
+
+    fn description(&self) -> &'static str {
+        "Red-black tree with a 50/25/25 insert/delete/lookup mix."
+    }
+
+    fn generate(&self, params: &WorkloadParams, arch: ArchConfig) -> TxOutput {
+        let mut keys = rng_for(params, 0x4b7e);
+        let mut branches = rng_for(params, 0x4b7f);
+        let mut tx = TxWriter::new(Layout::standard(), arch);
+        let root_ptr = tx.heap_alloc(8, 8);
+        let nil = tx.heap_alloc(NODE_WORDS * 8, 64);
+        tx.write_init(root_ptr, nil);
+        tx.write_init(nil + COLOR * 8, BLACK);
+        tx.write_init(nil + LEFT * 8, nil);
+        tx.write_init(nil + RIGHT * 8, nil);
+        tx.write_init(nil + PARENT * 8, nil);
+        let mut live_keys: Vec<u64> = Vec::new();
+        if params.prepopulate > 0 {
+            let mut pre = rng_for(params, 0x4b7e ^ 0x5115);
+            tx.begin_prepopulate();
+            let mut t = Builder {
+                tx: &mut tx,
+                branches: &mut branches,
+                params,
+                nil,
+                root_ptr,
+            };
+            for _ in 0..params.prepopulate {
+                let key: u64 = pre.gen();
+                let val: u64 = pre.gen();
+                t.insert(key, val);
+                live_keys.push(key);
+            }
+            tx.end_prepopulate();
+        }
+        tx.finish_init();
+
+        let mut t = Builder {
+            tx: &mut tx,
+            branches: &mut branches,
+            params,
+            nil,
+            root_ptr,
+        };
+        let mut in_tx = 0usize;
+        for _ in 0..params.ops {
+            if in_tx == 0 {
+                t.tx.begin_tx();
+            }
+            let dice: u8 = keys.gen_range(0..4);
+            match dice {
+                0 | 1 => {
+                    let key: u64 = keys.gen();
+                    let val: u64 = keys.gen();
+                    t.insert(key, val);
+                    live_keys.push(key);
+                }
+                2 if !live_keys.is_empty() => {
+                    let idx = keys.gen_range(0..live_keys.len());
+                    let key = live_keys.swap_remove(idx);
+                    t.delete(key);
+                }
+                _ => {
+                    let key = if live_keys.is_empty() {
+                        keys.gen()
+                    } else {
+                        live_keys[keys.gen_range(0..live_keys.len())]
+                    };
+                    let _ = t.lookup_traced(key);
+                }
+            }
+            in_tx += 1;
+            if in_tx == params.ops_per_tx {
+                t.tx.commit_tx();
+                in_tx = 0;
+            }
+        }
+        if in_tx > 0 {
+            t.tx.commit_tx();
+        }
+        tx.finish()
+    }
+}
+
+/// Direct handle over the tree operations for tests and external
+/// harnesses: creates the sentinel/root, then exposes insert, delete and
+/// traced lookup over an open [`TxWriter`].
+#[derive(Debug)]
+pub struct RbOps<'a> {
+    tx: &'a mut TxWriter,
+    branches: SmallRng,
+    params: WorkloadParams,
+    /// The sentinel node address.
+    pub nil: u64,
+    /// The root-pointer word address.
+    pub root_ptr: u64,
+}
+
+impl<'a> RbOps<'a> {
+    /// Allocates the root pointer and sentinel (as init preloads) and
+    /// wraps `tx`. Call before `finish_init`.
+    pub fn create(tx: &'a mut TxWriter, params: &WorkloadParams) -> RbOps<'a> {
+        let root_ptr = tx.heap_alloc(8, 8);
+        let nil = tx.heap_alloc(NODE_WORDS * 8, 64);
+        tx.write_init(root_ptr, nil);
+        tx.write_init(nil + COLOR * 8, BLACK);
+        tx.write_init(nil + LEFT * 8, nil);
+        tx.write_init(nil + RIGHT * 8, nil);
+        tx.write_init(nil + PARENT * 8, nil);
+        RbOps {
+            tx,
+            branches: rng_for(params, 0x4b7f),
+            params: *params,
+            nil,
+            root_ptr,
+        }
+    }
+
+    fn builder(&mut self) -> Builder<'_> {
+        Builder {
+            tx: self.tx,
+            branches: &mut self.branches,
+            params: &self.params,
+            nil: self.nil,
+            root_ptr: self.root_ptr,
+        }
+    }
+
+    /// Inserts (or updates) `key`.
+    pub fn insert(&mut self, key: u64, val: u64) {
+        self.builder().insert(key, val);
+    }
+
+    /// Deletes `key`, returning whether it was present.
+    pub fn delete(&mut self, key: u64) -> bool {
+        self.builder().delete(key)
+    }
+
+    /// Traced lookup.
+    pub fn lookup(&mut self, key: u64) -> Option<u64> {
+        self.builder().lookup_traced(key)
+    }
+
+    /// Closes the init phase and opens one transaction (convenience for
+    /// harnesses driving raw operation sequences).
+    pub fn tx_begin_for_ops(&mut self) {
+        self.tx.finish_init();
+        self.tx.begin_tx();
+    }
+
+    /// Commits the transaction opened by
+    /// [`tx_begin_for_ops`](Self::tx_begin_for_ops).
+    pub fn tx_commit_for_ops(&mut self) {
+        self.tx.commit_tx();
+    }
+}
+
+/// Pure lookup over the functional memory (test oracle; emits nothing).
+pub fn lookup(mem: &SimMemory, root_ptr: u64, nil: u64, key: u64) -> Option<u64> {
+    let mut cur = mem.read(root_ptr);
+    while cur != nil && cur != 0 {
+        let k = mem.read(cur + KEY * 8);
+        if key == k {
+            return Some(mem.read(cur + VAL * 8));
+        }
+        cur = if key < k {
+            mem.read(cur + LEFT * 8)
+        } else {
+            mem.read(cur + RIGHT * 8)
+        };
+    }
+    None
+}
+
+/// Red–black invariant check over the functional memory: no red node has
+/// a red child, and every root-to-nil path has the same black height.
+/// Returns the black height.
+pub fn check_invariants(mem: &SimMemory, root_ptr: u64, nil: u64) -> Result<u64, String> {
+    fn walk(mem: &SimMemory, node: u64, nil: u64) -> Result<u64, String> {
+        if node == nil {
+            return Ok(1);
+        }
+        let color = mem.read(node + COLOR * 8);
+        let left = mem.read(node + LEFT * 8);
+        let right = mem.read(node + RIGHT * 8);
+        if color == RED {
+            for c in [left, right] {
+                if c != nil && mem.read(c + COLOR * 8) == RED {
+                    return Err(format!("red node {node:#x} has a red child"));
+                }
+            }
+        }
+        let lh = walk(mem, left, nil)?;
+        let rh = walk(mem, right, nil)?;
+        if lh != rh {
+            return Err(format!("black-height mismatch at {node:#x}: {lh} vs {rh}"));
+        }
+        Ok(lh + u64::from(color == BLACK))
+    }
+    let root = mem.read(root_ptr);
+    if root != nil && mem.read(root + COLOR * 8) != BLACK {
+        return Err("root is not black".into());
+    }
+    walk(mem, root, nil)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn generate(ops: usize) -> (TxOutput, u64, u64) {
+        let params = WorkloadParams {
+            ops,
+            ops_per_tx: 50,
+            prepopulate: 0,
+            ..WorkloadParams::default()
+        };
+        let out = RbTree.generate(&params, ArchConfig::Baseline);
+        // The first init write is `root_ptr ← nil`.
+        let (root_ptr, nil) = out.init_writes[0];
+        (out, root_ptr, nil)
+    }
+
+    #[test]
+    fn matches_map_oracle() {
+        let (out, root_ptr, nil) = generate(300);
+        let params = WorkloadParams {
+            ops: 300,
+            ops_per_tx: 50,
+            prepopulate: 0,
+            ..WorkloadParams::default()
+        };
+        let mut rng = rng_for(&params, 0x4b7e);
+        let mut model = BTreeMap::new();
+        for _ in 0..300 {
+            let k: u64 = rng.gen();
+            let v: u64 = rng.gen();
+            model.insert(k, v);
+        }
+        for (&k, &v) in &model {
+            assert_eq!(lookup(&out.memory, root_ptr, nil, k), Some(v));
+        }
+        assert_eq!(lookup(&out.memory, root_ptr, nil, 12345), None);
+    }
+
+    #[test]
+    fn red_black_invariants_hold() {
+        let (out, root_ptr, nil) = generate(500);
+        let h = check_invariants(&out.memory, root_ptr, nil).expect("valid red-black tree");
+        // 500 nodes: black height in a sane range.
+        assert!(h >= 3 && h <= 12, "black height {h}");
+    }
+
+    #[test]
+    fn delete_matches_map_oracle_and_keeps_invariants() {
+        use rand::Rng;
+        let params = WorkloadParams {
+            ops: 200,
+            ops_per_tx: 200,
+            prepopulate: 0,
+            ..WorkloadParams::default()
+        };
+        let mut tx = TxWriter::new(Layout::standard(), ArchConfig::Baseline);
+        let root_ptr = tx.heap_alloc(8, 8);
+        let nil = tx.heap_alloc(NODE_WORDS * 8, 64);
+        tx.write_init(root_ptr, nil);
+        tx.write_init(nil + COLOR * 8, BLACK);
+        tx.write_init(nil + LEFT * 8, nil);
+        tx.write_init(nil + RIGHT * 8, nil);
+        tx.write_init(nil + PARENT * 8, nil);
+        tx.finish_init();
+        let mut branches = rng_for(&params, 5);
+        let mut b = Builder {
+            tx: &mut tx,
+            branches: &mut branches,
+            params: &params,
+            nil,
+            root_ptr,
+        };
+        let mut rng = rng_for(&params, 77);
+        let mut model = BTreeMap::new();
+        b.tx.begin_tx();
+        for step in 0..400u64 {
+            if step % 3 != 2 || model.is_empty() {
+                let k: u64 = rng.gen_range(0..200); // collisions on purpose
+                let v: u64 = rng.gen();
+                b.insert(k, v);
+                model.insert(k, v);
+            } else {
+                let idx = rng.gen_range(0..model.len());
+                let k = *model.keys().nth(idx).expect("nonempty");
+                assert!(b.delete(k), "present key deletes");
+                model.remove(&k);
+            }
+        }
+        // Deleting an absent key is a no-op returning false.
+        assert!(!b.delete(0xdead_beef_dead_beef));
+        b.tx.commit_tx();
+        let out = tx.finish();
+        check_invariants(&out.memory, root_ptr, nil).expect("valid after deletes");
+        for (&k, &v) in &model {
+            assert_eq!(lookup(&out.memory, root_ptr, nil, k), Some(v), "key {k}");
+        }
+        for k in 0..200u64 {
+            if !model.contains_key(&k) {
+                assert_eq!(lookup(&out.memory, root_ptr, nil, k), None, "key {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_workload_runs_all_configs() {
+        let params = WorkloadParams {
+            ops: 60,
+            ops_per_tx: 20,
+            prepopulate: 100,
+            ..WorkloadParams::default()
+        };
+        for arch in ArchConfig::ALL {
+            let out = RbMixed.generate(&params, arch);
+            assert!(out.program.validate().is_ok());
+            assert!(!out.records.is_empty());
+        }
+        // Deterministic across repeats.
+        let a = RbMixed.generate(&params, ArchConfig::IssueQueue);
+        let b = RbMixed.generate(&params, ArchConfig::IssueQueue);
+        assert_eq!(a.program.len(), b.program.len());
+    }
+
+    #[test]
+    fn rotations_exercised() {
+        // Sequential keys force rotations constantly.
+        let params = WorkloadParams {
+            ops: 64,
+            ops_per_tx: 64,
+            prepopulate: 0,
+            ..WorkloadParams::default()
+        };
+        let mut tx = TxWriter::new(Layout::standard(), ArchConfig::Baseline);
+        let root_ptr = tx.heap_alloc(8, 8);
+        let nil = tx.heap_alloc(NODE_WORDS * 8, 64);
+        tx.write_init(root_ptr, nil);
+        tx.write_init(nil + COLOR * 8, BLACK);
+        tx.write_init(nil + LEFT * 8, nil);
+        tx.write_init(nil + RIGHT * 8, nil);
+        tx.write_init(nil + PARENT * 8, nil);
+        tx.finish_init();
+        let mut branches = rng_for(&params, 9);
+        let mut b = Builder {
+            tx: &mut tx,
+            branches: &mut branches,
+            params: &params,
+            nil,
+            root_ptr,
+        };
+        b.tx.begin_tx();
+        for k in 0..64u64 {
+            b.insert(k, k * 2);
+        }
+        b.tx.commit_tx();
+        let out = tx.finish();
+        check_invariants(&out.memory, root_ptr, nil).expect("balanced after sequential inserts");
+        for k in 0..64u64 {
+            assert_eq!(lookup(&out.memory, root_ptr, nil, k), Some(k * 2));
+        }
+        // Sequential inserts into a BST without balancing would be a
+        // 64-deep list; red-black balancing keeps paths logarithmic.
+        // A 64-node unbalanced chain would have black height ~65 (every
+        // node black on the single path); balancing keeps it logarithmic.
+        let h = check_invariants(&out.memory, root_ptr, nil).unwrap();
+        assert!(h <= 7, "black height {h} too large for 64 nodes");
+    }
+}

@@ -1,0 +1,128 @@
+//! Zipfian index sampling for skewed access patterns.
+//!
+//! Real key-value workloads are rarely uniform; a Zipf(θ) distribution
+//! over array indices lets the kernels model hot-set behavior (θ = 0 is
+//! uniform; θ ≈ 0.99 is the YCSB default; larger is hotter).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A Zipf(θ) sampler over `0..n`, using a precomputed CDF and binary
+/// search (exact, O(n) setup, O(log n) per sample).
+///
+/// # Example
+///
+/// ```
+/// use ede_workloads::zipf::Zipf;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let z = Zipf::new(1000, 0.99);
+/// let mut rng = SmallRng::seed_from_u64(7);
+/// let i = z.sample(&mut rng);
+/// assert!(i < 1000);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `0..n` with exponent `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is negative/non-finite.
+    pub fn new(n: u64, theta: f64) -> Zipf {
+        assert!(n > 0, "empty domain");
+        assert!(theta.is_finite() && theta >= 0.0, "bad exponent");
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0;
+        for i in 1..=n {
+            acc += 1.0 / (i as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draws one index in `0..n`; index 0 is the hottest.
+    pub fn sample(&self, rng: &mut SmallRng) -> u64 {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("finite"))
+        {
+            Ok(i) | Err(i) => (i as u64).min(self.cdf.len() as u64 - 1),
+        }
+    }
+
+    /// Domain size.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the domain is empty (never: construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn histogram(n: u64, theta: f64, samples: usize) -> Vec<u64> {
+        let z = Zipf::new(n, theta);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut h = vec![0u64; n as usize];
+        for _ in 0..samples {
+            h[z.sample(&mut rng) as usize] += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn uniform_at_theta_zero() {
+        let h = histogram(10, 0.0, 100_000);
+        for &c in &h {
+            assert!((c as f64 - 10_000.0).abs() < 800.0, "count {c}");
+        }
+    }
+
+    #[test]
+    fn skewed_at_high_theta() {
+        let h = histogram(1000, 1.2, 100_000);
+        // The hottest index dominates.
+        assert!(h[0] > h[500] * 20, "h[0]={} h[500]={}", h[0], h[500]);
+        // The top 10 indices carry a large share.
+        let top: u64 = h[..10].iter().sum();
+        assert!(top as f64 > 0.4 * 100_000.0, "top-10 share {top}");
+    }
+
+    #[test]
+    fn monotone_popularity() {
+        let h = histogram(50, 0.99, 200_000);
+        // Expect generally decreasing counts (allow sampling noise).
+        assert!(h[0] > h[10]);
+        assert!(h[10] > h[40]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty domain")]
+    fn zero_domain_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn samples_in_range() {
+        let z = Zipf::new(3, 2.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Reproduces the execution-phase pictures of Figures 3 and 8: how DSBs
+//! serialize three independent persistent updates into four phases, and
+//! how IQ and WB unlock the overlap.
+//!
+//! Run with: `cargo run --release --example timeline`
+
+use ede_isa::{ArchConfig, Edk, InstKind, Program, TraceBuilder};
+use ede_sim::runner::{raw_output, run_program};
+use ede_sim::SimConfig;
+
+const NVM: u64 = 0x1_0000_0000;
+
+fn update_programs(ede: bool) -> Program {
+    let mut b = TraceBuilder::new();
+    for i in 0..3u64 {
+        let slot = NVM + i * 0x100;
+        let elem = NVM + 0x1_0000 + i * 0x100;
+        let s = b.lea(slot);
+        b.store_pair_to(s, slot, [elem, 100 + i]);
+        if ede {
+            let k = Edk::new(i as u8 + 1).expect("key in range");
+            b.cvap_to_edk(s, slot, ede_isa::EdkPair::producer(k));
+            b.release(s);
+            b.store_consuming(elem, 6 + i, k);
+        } else {
+            b.cvap_to(s, slot);
+            b.release(s);
+            b.dsb_sy();
+            b.store(elem, 6 + i);
+        }
+        b.cvap(elem);
+    }
+    b.finish()
+}
+
+fn show(label: &str, program: Program, arch: ArchConfig) -> u64 {
+    let sim = SimConfig::a72();
+    let r = run_program(label, raw_output(program), arch, &sim).expect("run completes");
+    println!("\n=== {label} — {} cycles ===", r.cycles);
+    println!("{:>28}  {:>8} {:>8}", "instruction", "effect", "complete");
+    let scale = |c: u64| c;
+    for (id, inst) in r.output.program.iter() {
+        let t = r.timings[id.index()];
+        let kind = inst.kind();
+        if matches!(
+            kind,
+            InstKind::Store | InstKind::Writeback | InstKind::FenceFull
+        ) {
+            println!(
+                "{:>28}  {:>8} {:>8}",
+                ede_isa::disasm::Disasm(inst).to_string(),
+                scale(t.effect),
+                scale(t.complete),
+            );
+        }
+    }
+    r.cycles
+}
+
+fn main() {
+    println!(
+        "Figure 3 / Figure 8: three independent updates. Each needs its\n\
+         log persist (dc cvap of the slot) to complete before its data\n\
+         store becomes visible — and nothing else."
+    );
+    let fenced = show("B: DSB between log and data", update_programs(false), ArchConfig::Baseline);
+    let iq = show("IQ: EDE at the issue queue", update_programs(true), ArchConfig::IssueQueue);
+    let wb = show("WB: EDE at the write buffer", update_programs(true), ArchConfig::WriteBuffer);
+
+    println!("\nsummary: B {fenced} cycles, IQ {iq} cycles, WB {wb} cycles");
+    println!(
+        "The DSB timeline shows the paper's serialized phases. IQ barely\n\
+         helps on this store-only snippet — exactly Figure 8(b)'s lesson:\n\
+         stalling the consumer store at the issue queue couples every\n\
+         younger retire (and therefore every younger push-to-memory) to\n\
+         it. WB lets the stores retire and orders only the pushes,\n\
+         approaching the ideal timeline of Figure 8(a)."
+    );
+}

@@ -1,0 +1,64 @@
+//! Undo logging through the transaction framework: the Figure 1/2/7
+//! lifecycle, shown for every architecture configuration.
+//!
+//! Run with: `cargo run --release --example undo_logging`
+
+use ede_isa::ArchConfig;
+use ede_nvm::{CrashChecker, Layout, TxWriter};
+use ede_sim::runner::run_program;
+use ede_sim::SimConfig;
+
+fn main() {
+    let sim = SimConfig::a72();
+    println!("p_array[0..3] updated inside one failure-atomic transaction\n");
+    println!(
+        "{:4} {:>8} {:>8}  {:>7}  {}",
+        "cfg", "insts", "cycles", "fences", "crash-safe at every instant?"
+    );
+    for arch in ArchConfig::ALL {
+        // The framework code of Figure 1(b): p_array[i] = v via operator
+        // overloading → log_value + update_value.
+        let mut tx = TxWriter::new(Layout::standard(), arch);
+        let p_array = tx.heap_alloc(3 * 8, 16);
+        for i in 0..3 {
+            tx.write_init(p_array + i * 8, 100 + i);
+        }
+        tx.finish_init();
+        tx.begin_tx();
+        tx.write(p_array, 6);
+        tx.write(p_array + 8, 9);
+        tx.write(p_array + 16, 42);
+        tx.commit_tx();
+        let out = tx.finish();
+
+        let fences = out
+            .program
+            .iter()
+            .filter(|(_, i)| {
+                matches!(
+                    i.kind(),
+                    ede_isa::InstKind::FenceFull | ede_isa::InstKind::FenceStore
+                )
+            })
+            .count();
+        let insts = out.program.len();
+        let r = run_program("undo_logging", out, arch, &sim).expect("run completes");
+        let checker = CrashChecker::new(&r.output);
+        let verdict = match checker.check_all_images(&r.trace) {
+            Ok(()) => "yes".to_string(),
+            Err((c, e)) => format!("NO — crash at cycle {c}: {e}"),
+        };
+        println!(
+            "{:4} {:>8} {:>8}  {:>7}  {}",
+            arch.label(),
+            insts,
+            r.cycles,
+            fences,
+            verdict
+        );
+    }
+    println!(
+        "\nEDE (IQ/WB) needs no fences inside the transaction, yet recovery\n\
+         succeeds at every possible crash instant — the point of the paper."
+    );
+}

@@ -1,0 +1,105 @@
+//! Shape checks for the paper's evaluation figures: the orderings and
+//! relationships the paper reports must hold on reduced-size runs.
+
+use ede_isa::ArchConfig;
+use ede_sim::experiment::{fig10_with, fig11_with, fig9_with, ExperimentConfig};
+use ede_sim::SimConfig;
+use ede_workloads::{btree::BTree, update::Update, Workload, WorkloadParams};
+
+fn cfg() -> ExperimentConfig {
+    ExperimentConfig {
+        params: WorkloadParams {
+            ops: 300,
+            ops_per_tx: 100,
+            prepopulate: 4000,
+            ..WorkloadParams::default()
+        },
+        sim: SimConfig::a72(),
+    }
+}
+
+fn suite() -> Vec<Box<dyn Workload>> {
+    vec![Box::new(Update), Box::new(BTree)]
+}
+
+#[test]
+fn fig9_configuration_ordering() {
+    let f = fig9_with(&cfg(), &suite()).unwrap();
+    let g = f.geomean;
+    // Figure 9's headline: B slowest, then SU, IQ, WB, with U fastest.
+    assert!((g[0] - 1.0).abs() < 1e-9, "baseline normalizes to 1");
+    assert!(g[1] < g[0], "SU must beat B (paper: 5%)");
+    assert!(g[2] < g[1], "IQ must beat SU (paper: 15% vs 5%)");
+    assert!(g[3] < g[2], "WB must beat IQ (paper: 20% vs 15%)");
+    assert!(g[4] <= g[3] + 1e-9, "U is the floor (paper: 38%)");
+    // Magnitudes in a sane band.
+    let red = f.reduction_pct();
+    assert!(red[4] > 15.0 && red[4] < 75.0, "U reduction {:.0}%", red[4]);
+    assert!(red[2] > 5.0, "IQ reduction {:.0}%", red[2]);
+}
+
+#[test]
+fn fig11_ipc_tracks_execution_time() {
+    let f = fig11_with(&cfg(), &suite()).unwrap();
+    let ipc: Vec<f64> = ArchConfig::ALL.iter().map(|&a| f.row(a).ipc).collect();
+    // Paper: IPC 0.40 (B) < 0.42 (SU) < 0.46 (IQ) < 0.49 (WB) < 0.64 (U).
+    assert!(ipc[1] > ipc[0], "SU IPC above B");
+    assert!(ipc[2] > ipc[1], "IQ IPC above SU");
+    assert!(ipc[3] > ipc[2], "WB IPC above IQ");
+    assert!(ipc[4] >= ipc[3], "U IPC is the ceiling");
+    // Zero-issue cycles dominate everywhere (paper §VII-B).
+    for arch in ArchConfig::ALL {
+        let row = f.row(arch);
+        assert!(
+            row.issue_fractions[0] > 0.3,
+            "{arch}: zero-issue fraction {:.2}",
+            row.issue_fractions[0]
+        );
+        let sum: f64 = row.issue_fractions.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+    // The fence-free machine spends fewer cycles unable to issue.
+    assert!(
+        f.row(ArchConfig::Unsafe).issue_fractions[0]
+            < f.row(ArchConfig::Baseline).issue_fractions[0]
+    );
+}
+
+#[test]
+fn fig10_unsafe_keeps_buffer_fullest() {
+    let f = fig10_with(&cfg(), &suite()).unwrap();
+    // Paper §VII-C: U has the highest number of pending NVM writes; WB
+    // trends above B.
+    let mean = f.mean_by_arch();
+    assert!(
+        mean[4] >= mean[0],
+        "U mean occupancy {:.1} below B {:.1}",
+        mean[4],
+        mean[0]
+    );
+    assert!(
+        mean[3] >= mean[0] * 0.8,
+        "WB occupancy should not collapse below B"
+    );
+    // Kernels write at a high rate: U's occupancy must be substantial.
+    let u_update = f.cell("update", ArchConfig::Unsafe).unwrap();
+    assert!(
+        u_update.mean_occupancy() > 4.0,
+        "update/U occupancy {:.1}",
+        u_update.mean_occupancy()
+    );
+}
+
+#[test]
+fn wb_recovers_large_share_of_unsafe_reduction() {
+    // Paper: WB attains 54% of U's execution-time reduction. Our WB is
+    // more aggressive; assert it recovers at least half.
+    let f = fig9_with(&cfg(), &suite()).unwrap();
+    let red_wb = 1.0 - f.geomean[3];
+    let red_u = 1.0 - f.geomean[4];
+    assert!(
+        red_wb >= 0.5 * red_u,
+        "WB recovers {:.0}% of U's reduction",
+        100.0 * red_wb / red_u
+    );
+}

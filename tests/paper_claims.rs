@@ -1,0 +1,195 @@
+//! One test per textual claim in the paper's evaluation (§VII), at
+//! reduced scale. Each test quotes the claim it pins. The figure-level
+//! shape tests live in `figures_shape.rs`; these are the finer-grained
+//! statements.
+
+use ede_isa::ArchConfig;
+use ede_sim::experiment::{fig10_with, fig11_with, fig9_with, ExperimentConfig};
+use ede_sim::{run_workload, SimConfig};
+use ede_workloads::{btree::BTree, update::Update, Workload, WorkloadParams};
+
+fn cfg() -> ExperimentConfig {
+    ExperimentConfig {
+        params: WorkloadParams {
+            ops: 300,
+            ops_per_tx: 100,
+            prepopulate: 4000,
+            ..WorkloadParams::default()
+        },
+        sim: SimConfig::a72(),
+    }
+}
+
+fn suite() -> Vec<Box<dyn Workload>> {
+    vec![Box::new(Update), Box::new(BTree)]
+}
+
+/// §VII-A: "SU outperforms B since DMB sts only block store instructions,
+/// not all instructions like DSBs."
+#[test]
+fn su_outperforms_b() {
+    let f = fig9_with(&cfg(), &suite()).expect("runs complete");
+    assert!(f.geomean[1] < f.geomean[0]);
+}
+
+/// §VII-A: "Across all applications, IQ outperforms B and SU."
+#[test]
+fn iq_outperforms_b_and_su_on_geomean() {
+    let f = fig9_with(&cfg(), &suite()).expect("runs complete");
+    assert!(f.geomean[2] < f.geomean[0]);
+    assert!(f.geomean[2] < f.geomean[1]);
+}
+
+/// §VII-A: "Likewise, WB performs better than IQ across all
+/// applications."
+#[test]
+fn wb_beats_iq_per_application() {
+    let f = fig9_with(&cfg(), &suite()).expect("runs complete");
+    for row in &f.rows {
+        assert!(
+            row.normalized[3] <= row.normalized[2] + 1e-9,
+            "{}: WB {} vs IQ {}",
+            row.app,
+            row.normalized[3],
+            row.normalized[2]
+        );
+    }
+}
+
+/// §VII-A: "WB is able to attain [a significant portion] of the execution
+/// time reduction of U" (the paper: 54%).
+#[test]
+fn wb_recovers_much_of_u() {
+    let f = fig9_with(&cfg(), &suite()).expect("runs complete");
+    let red_wb = 1.0 - f.geomean[3];
+    let red_u = 1.0 - f.geomean[4];
+    assert!(red_u > 0.0);
+    assert!(red_wb / red_u > 0.5);
+}
+
+/// §VII-B: "all implementations issue 0 instructions in the majority of
+/// cycles … as writes to NVM have a significant latency and can cause
+/// the pipeline to fill."
+#[test]
+fn zero_issue_cycles_dominate() {
+    let f = fig11_with(&cfg(), &suite()).expect("runs complete");
+    for row in &f.rows {
+        assert!(
+            row.issue_fractions[0] > 0.5,
+            "{}: {:.2}",
+            row.arch,
+            row.issue_fractions[0]
+        );
+    }
+}
+
+/// §VII-B: "IQ and WB spend fewer cycles being unable to issue
+/// instructions than SU and B."
+#[test]
+fn ede_configs_idle_less() {
+    let f = fig11_with(&cfg(), &suite()).expect("runs complete");
+    let zero = |a: ArchConfig| f.row(a).issue_fractions[0];
+    assert!(zero(ArchConfig::WriteBuffer) < zero(ArchConfig::Baseline));
+    assert!(zero(ArchConfig::IssueQueue) < zero(ArchConfig::Baseline));
+}
+
+/// §VII-B: "when issuing instructions, WB is able to issue on average
+/// more instructions than IQ" (the paper: 8% more).
+#[test]
+fn wb_issues_more_when_active() {
+    // Aggregate mean-issued-when-active across the suite.
+    let c = cfg();
+    let mut iq = Vec::new();
+    let mut wb = Vec::new();
+    for w in suite() {
+        let r = run_workload(w.as_ref(), &c.params, ArchConfig::IssueQueue, &c.sim)
+            .expect("runs complete");
+        iq.push(r.issue_hist.mean_issued_when_active());
+        let r = run_workload(w.as_ref(), &c.params, ArchConfig::WriteBuffer, &c.sim)
+            .expect("runs complete");
+        wb.push(r.issue_hist.mean_issued_when_active());
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    assert!(
+        mean(&wb) >= mean(&iq) * 0.98,
+        "WB {:.3} vs IQ {:.3}",
+        mean(&wb),
+        mean(&iq)
+    );
+}
+
+/// §VII-C: "Across all the applications, U has the highest number of
+/// pending NVM writes."
+#[test]
+fn u_has_highest_buffer_occupancy_per_app() {
+    let f = fig10_with(&cfg(), &suite()).expect("runs complete");
+    let mut apps: Vec<String> = f.cells.iter().map(|c| c.app.clone()).collect();
+    apps.dedup();
+    for app in apps {
+        let occ = |a: ArchConfig| f.cell(&app, a).expect("cell").mean_occupancy();
+        for other in [
+            ArchConfig::Baseline,
+            ArchConfig::StoreBarrierUnsafe,
+            ArchConfig::IssueQueue,
+            ArchConfig::WriteBuffer,
+        ] {
+            assert!(
+                occ(ArchConfig::Unsafe) + 1e-9 >= occ(other),
+                "{app}: U {:.1} vs {} {:.1}",
+                occ(ArchConfig::Unsafe),
+                other,
+                occ(other)
+            );
+        }
+    }
+}
+
+/// §VII-C: "For the kernel applications, U is able to keep the buffer
+/// full, since the kernels write to NVM at a high frequency."
+#[test]
+fn u_fills_buffer_on_kernels() {
+    let f = fig10_with(&cfg(), &suite()).expect("runs complete");
+    let cell = f.cell("update", ArchConfig::Unsafe).expect("cell");
+    let cap = cfg().sim.mem.persist_slots as f64;
+    assert!(
+        cell.mean_occupancy() > 0.6 * cap,
+        "update/U occupancy {:.1} of {cap}",
+        cell.mean_occupancy()
+    );
+}
+
+/// §VII-C: "WB has, on average, slightly more pending writes to NVM than
+/// the other [safe] configurations."
+#[test]
+fn wb_occupancy_above_other_safe_configs() {
+    let f = fig10_with(&cfg(), &suite()).expect("runs complete");
+    let m = f.mean_by_arch();
+    assert!(m[3] + 1e-9 >= m[0], "WB {:.1} vs B {:.1}", m[3], m[0]);
+    assert!(m[3] + 1e-9 >= m[2], "WB {:.1} vs IQ {:.1}", m[3], m[2]);
+}
+
+/// §III-B: "by explicitly describing execution dependences … the number
+/// of fences needed within applications is substantially reduced" — to
+/// zero in the transaction phase.
+#[test]
+fn ede_eliminates_all_fences() {
+    let c = cfg();
+    for w in suite() {
+        for arch in [ArchConfig::IssueQueue, ArchConfig::WriteBuffer] {
+            let out = w.generate(&c.params, arch);
+            let fences = out
+                .program
+                .iter()
+                .filter(|(_, i)| {
+                    matches!(
+                        i.kind(),
+                        ede_isa::InstKind::FenceFull
+                            | ede_isa::InstKind::FenceStore
+                            | ede_isa::InstKind::FenceMem
+                    )
+                })
+                .count();
+            assert_eq!(fences, 0, "{} on {arch}", w.name());
+        }
+    }
+}
