@@ -1,7 +1,8 @@
 //! Ablations of the design choices DESIGN.md calls out. Measured quantity
 //! is simulated transaction-phase cycles (1 cycle = 1 ns).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ede_util::bench::Criterion;
+use ede_util::{criterion_group, criterion_main};
 use ede_isa::ArchConfig;
 use ede_sim::run_workload;
 use ede_workloads::{btree::BTree, update::Update, Workload};

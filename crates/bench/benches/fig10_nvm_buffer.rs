@@ -3,7 +3,8 @@
 //! each media write), scaled ×1000 into nanoseconds so Criterion can
 //! report it. Higher = fuller buffer, as in the paper's Figure 10.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ede_util::bench::Criterion;
+use ede_util::{criterion_group, criterion_main};
 use ede_isa::ArchConfig;
 use ede_sim::run_workload;
 use ede_workloads::standard_suite;

@@ -2,7 +2,8 @@
 //! IPC ×1000 (reported as nanoseconds), reproducing the §VII-B IPC
 //! series B < SU < IQ < WB < U.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ede_util::bench::Criterion;
+use ede_util::{criterion_group, criterion_main};
 use ede_isa::ArchConfig;
 use ede_sim::run_workload;
 use ede_workloads::standard_suite;

@@ -3,7 +3,8 @@
 //! (1 cycle = 1 ns), so Criterion's comparison machinery renders the
 //! figure's relationships directly.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ede_util::bench::Criterion;
+use ede_util::{criterion_group, criterion_main};
 use ede_isa::ArchConfig;
 use ede_sim::run_workload;
 use ede_workloads::standard_suite;

@@ -1,7 +1,8 @@
 //! Wall-clock microbenchmarks of the simulator's own components: useful
 //! for keeping the simulator fast enough to run paper-scale experiments.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ede_util::bench::{black_box, Criterion};
+use ede_util::{criterion_group, criterion_main};
 use ede_core::{InFlightEde, SpeculativeEdm};
 use ede_isa::{Edk, EdkPair, Inst, InstId, Op, Reg, TraceBuilder};
 use ede_mem::{MemConfig, MemSystem, PersistBuffer, ReqKind};

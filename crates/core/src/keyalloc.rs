@@ -210,7 +210,7 @@ mod tests {
         assert_eq!(ka.use_key(VKey(1)), None);
         // And the new binding took over the victim's physical key.
         assert!(!k15.is_zero());
-        assert_eq!(ka.use_key(VKey(0)).is_some(), true);
+        assert!(ka.use_key(VKey(0)).is_some());
     }
 
     #[test]

@@ -1,9 +1,12 @@
 //! Property tests for the Execution Dependence Map and the in-flight
-//! tracker.
+//! tracker (ported from proptest to the in-repo `ede_util::check`
+//! harness; historical proptest regression entries are the named
+//! `regression_*` tests at the bottom).
 
 use ede_core::{Edm, InFlightEde, SpeculativeEdm};
 use ede_isa::{Edk, EdkPair, Inst, InstId, Op, Reg};
-use proptest::prelude::*;
+use ede_util::check::{self, any, CaseResult, Just, Strategy};
+use ede_util::{prop_assert, prop_assert_eq, prop_oneof, property};
 
 #[derive(Clone, Copy, Debug)]
 enum EdmOp {
@@ -46,125 +49,155 @@ fn consumer(key: u8) -> Inst {
     )
 }
 
-proptest! {
-    /// Whatever sequence of decodes, retires, completions and squashes
-    /// happens, the EDM's invariants hold: consumers link only to older
-    /// instructions, completed producers impose no dependences, and a
-    /// squash restores exactly the retired state.
-    #[test]
-    fn edm_state_machine(ops in prop::collection::vec(op_strategy(), 1..80)) {
-        let mut edm = SpeculativeEdm::new();
-        let mut next = 0u64;
-        let mut decoded: Vec<(Inst, InstId)> = Vec::new(); // not yet retired
-        let mut completed: Vec<InstId> = Vec::new();
-        let mut nonspec_shadow: Edm = Edm::new();
+/// Whatever sequence of decodes, retires, completions and squashes
+/// happens, the EDM's invariants hold: consumers link only to older
+/// instructions, completed producers impose no dependences, and a
+/// squash restores exactly the retired state.
+fn edm_state_machine_impl(ops: &[EdmOp]) -> CaseResult {
+    let mut edm = SpeculativeEdm::new();
+    let mut next = 0u64;
+    let mut decoded: Vec<(Inst, InstId)> = Vec::new(); // not yet retired
+    let mut completed: Vec<InstId> = Vec::new();
+    let mut nonspec_shadow: Edm = Edm::new();
 
-        for op in ops {
-            match op {
-                EdmOp::DecodeProducer { key } => {
-                    let id = InstId(next);
-                    next += 1;
-                    let inst = producer(key);
-                    let deps = edm.decode(&inst, id);
-                    for s in deps.sources() {
-                        prop_assert!(s < id);
-                        prop_assert!(!completed.contains(&s));
-                    }
-                    decoded.push((inst, id));
+    for op in ops {
+        match *op {
+            EdmOp::DecodeProducer { key } => {
+                let id = InstId(next);
+                next += 1;
+                let inst = producer(key);
+                let deps = edm.decode(&inst, id);
+                for s in deps.sources() {
+                    prop_assert!(s < id);
+                    prop_assert!(!completed.contains(&s));
                 }
-                EdmOp::DecodeConsumer { key } => {
-                    let id = InstId(next);
-                    next += 1;
-                    let inst = consumer(key);
-                    let deps = edm.decode(&inst, id);
-                    for s in deps.sources() {
-                        prop_assert!(s < id);
-                        prop_assert!(!completed.contains(&s));
-                    }
-                    decoded.push((inst, id));
+                decoded.push((inst, id));
+            }
+            EdmOp::DecodeConsumer { key } => {
+                let id = InstId(next);
+                next += 1;
+                let inst = consumer(key);
+                let deps = edm.decode(&inst, id);
+                for s in deps.sources() {
+                    prop_assert!(s < id);
+                    prop_assert!(!completed.contains(&s));
                 }
-                EdmOp::RetireNext => {
-                    if !decoded.is_empty() {
-                        let (inst, id) = decoded.remove(0);
-                        // Pipelines skip the non-speculative replay for
-                        // already-completed instructions (see
-                        // `SpeculativeEdm::retire`'s contract).
-                        if !completed.contains(&id) {
-                            edm.retire(&inst, id);
-                            nonspec_shadow.define(inst.edks.def, id);
-                        }
-                    }
-                }
-                EdmOp::Complete { which } => {
-                    // Complete an arbitrary known instruction id.
-                    if next > 0 {
-                        let id = InstId(u64::from(which) % next);
-                        edm.complete(id);
-                        nonspec_shadow.clear_matching(id);
-                        if !completed.contains(&id) {
-                            completed.push(id);
-                        }
-                    }
-                }
-                EdmOp::Squash => {
-                    edm.squash();
-                    decoded.clear(); // squashed instructions never retire
-                    // After a squash, the speculative map equals the
-                    // non-speculative map.
-                    for k in Edk::live_keys() {
-                        prop_assert_eq!(edm.spec().lookup(k), edm.nonspec().lookup(k));
+                decoded.push((inst, id));
+            }
+            EdmOp::RetireNext => {
+                if !decoded.is_empty() {
+                    let (inst, id) = decoded.remove(0);
+                    // Pipelines skip the non-speculative replay for
+                    // already-completed instructions (see
+                    // `SpeculativeEdm::retire`'s contract).
+                    if !completed.contains(&id) {
+                        edm.retire(&inst, id);
+                        nonspec_shadow.define(inst.edks.def, id);
                     }
                 }
             }
-            // The shadow tracks the non-speculative copy exactly.
-            for k in Edk::live_keys() {
-                prop_assert_eq!(edm.nonspec().lookup(k), nonspec_shadow.lookup(k));
+            EdmOp::Complete { which } => {
+                // Complete an arbitrary known instruction id.
+                if next > 0 {
+                    let id = InstId(u64::from(which) % next);
+                    edm.complete(id);
+                    nonspec_shadow.clear_matching(id);
+                    if !completed.contains(&id) {
+                        completed.push(id);
+                    }
+                }
+            }
+            EdmOp::Squash => {
+                edm.squash();
+                decoded.clear(); // squashed instructions never retire
+                // After a squash, the speculative map equals the
+                // non-speculative map.
+                for k in Edk::live_keys() {
+                    prop_assert_eq!(edm.spec().lookup(k), edm.nonspec().lookup(k));
+                }
             }
         }
-    }
-
-    /// Tracker counters equal a straightforward reference model.
-    #[test]
-    fn tracker_matches_reference(ops in prop::collection::vec((0u8..3, 1u8..16), 1..100)) {
-        let mut t = InFlightEde::new();
-        let mut reference: Vec<(u8, InstId)> = Vec::new(); // (key, id) live producers
-        let mut next = 0u64;
-        let mut live: Vec<(Inst, InstId)> = Vec::new();
-        for (action, key) in ops {
-            match action {
-                0 => {
-                    let id = InstId(next);
-                    next += 1;
-                    let inst = producer(key);
-                    t.insert(&inst, id);
-                    reference.push((key, id));
-                    live.push((inst, id));
-                }
-                1 => {
-                    if let Some((inst, id)) = live.pop() {
-                        t.complete(&inst, id);
-                        reference.retain(|&(_, rid)| rid != id);
-                    }
-                }
-                _ => {
-                    // Squash everything younger than half of the ids.
-                    let cut = InstId(next / 2);
-                    t.squash_younger(cut);
-                    reference.retain(|&(_, rid)| rid <= cut);
-                    live.retain(|&(_, rid)| rid <= cut);
-                }
-            }
-            for k in 1u8..16 {
-                let expect = reference.iter().filter(|&&(rk, _)| rk == k).count();
-                prop_assert_eq!(t.count(Edk::new(k).expect("key")), expect);
-            }
-            prop_assert_eq!(t.total(), reference.len());
-            // has_producer_before agrees with the reference.
-            let probe = InstId(next);
-            for k in 1u8..16 {
-                let expect = reference.iter().any(|&(rk, rid)| rk == k && rid < probe);
-                prop_assert_eq!(t.has_producer_before(Edk::new(k).expect("key"), probe), expect);
-            }
+        // The shadow tracks the non-speculative copy exactly.
+        for k in Edk::live_keys() {
+            prop_assert_eq!(edm.nonspec().lookup(k), nonspec_shadow.lookup(k));
         }
     }
+    Ok(())
+}
+
+/// Tracker counters equal a straightforward reference model.
+fn tracker_matches_reference_impl(ops: &[(u8, u8)]) -> CaseResult {
+    let mut t = InFlightEde::new();
+    let mut reference: Vec<(u8, InstId)> = Vec::new(); // (key, id) live producers
+    let mut next = 0u64;
+    let mut live: Vec<(Inst, InstId)> = Vec::new();
+    for &(action, key) in ops {
+        match action {
+            0 => {
+                let id = InstId(next);
+                next += 1;
+                let inst = producer(key);
+                t.insert(&inst, id);
+                reference.push((key, id));
+                live.push((inst, id));
+            }
+            1 => {
+                if let Some((inst, id)) = live.pop() {
+                    t.complete(&inst, id);
+                    reference.retain(|&(_, rid)| rid != id);
+                }
+            }
+            _ => {
+                // Squash everything younger than half of the ids.
+                let cut = InstId(next / 2);
+                t.squash_younger(cut);
+                reference.retain(|&(_, rid)| rid <= cut);
+                live.retain(|&(_, rid)| rid <= cut);
+            }
+        }
+        for k in 1u8..16 {
+            let expect = reference.iter().filter(|&&(rk, _)| rk == k).count();
+            prop_assert_eq!(t.count(Edk::new(k).expect("key")), expect);
+        }
+        prop_assert_eq!(t.total(), reference.len());
+        // has_producer_before agrees with the reference.
+        let probe = InstId(next);
+        for k in 1u8..16 {
+            let expect = reference.iter().any(|&(rk, rid)| rk == k && rid < probe);
+            prop_assert_eq!(t.has_producer_before(Edk::new(k).expect("key"), probe), expect);
+        }
+    }
+    Ok(())
+}
+
+property! {
+    fn edm_state_machine(ops in check::vec(op_strategy(), 1..80)) {
+        edm_state_machine_impl(&ops)?;
+    }
+
+    fn tracker_matches_reference(ops in check::vec((0u8..3, 1u8..16), 1..100)) {
+        tracker_matches_reference_impl(&ops)?;
+    }
+}
+
+/// Historical proptest counterexample (from the retired
+/// `prop_edm.proptest-regressions` file): a completed-then-squashed
+/// producer must not leave a stale speculative mapping behind.
+#[test]
+fn regression_complete_then_squash_consumer() {
+    use EdmOp::*;
+    edm_state_machine_impl(&[
+        DecodeProducer { key: 3 },
+        Complete { which: 0 },
+        DecodeProducer { key: 1 },
+        DecodeProducer { key: 1 },
+        DecodeProducer { key: 1 },
+        RetireNext,
+        DecodeProducer { key: 1 },
+        DecodeProducer { key: 1 },
+        DecodeProducer { key: 1 },
+        Squash,
+        DecodeConsumer { key: 3 },
+    ])
+    .expect("regression case holds");
 }

@@ -804,8 +804,7 @@ impl<M: MemPort> Core<M> {
 
     fn dispatch_stage(&mut self) {
         let enforcement = self.cfg.enforcement;
-        let mut dispatched = 0;
-        for _ in 0..self.cfg.decode_width {
+        for (dispatched, _) in (0..self.cfg.decode_width).enumerate() {
             if self.dispatch_block.is_some() {
                 if dispatched == 0 {
                     self.stalls.dsb += 1;
@@ -847,7 +846,6 @@ impl<M: MemPort> Core<M> {
                 }
                 _ => {}
             }
-            dispatched += 1;
             self.fetch_q.pop_front();
 
             // Reset the slot for (re)dispatch.

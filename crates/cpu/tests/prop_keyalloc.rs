@@ -7,7 +7,8 @@ use ede_core::keyalloc::{KeyAllocator, VKey};
 use ede_core::EnforcementPoint;
 use ede_cpu::{Core, CpuConfig, FixedLatencyMem};
 use ede_isa::{InstId, TraceBuilder};
-use proptest::prelude::*;
+use ede_util::check::{self, CaseResult, Just, Strategy};
+use ede_util::{prop_assert, prop_assert_eq, prop_oneof, property};
 
 #[derive(Clone, Copy, Debug)]
 enum KOp {
@@ -30,75 +31,81 @@ fn op_strategy() -> impl Strategy<Value = KOp> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn virtual_deps_survive_impl(ops: &[KOp]) -> CaseResult {
+    let mut b = TraceBuilder::new();
+    let mut ka = KeyAllocator::new();
+    // Latest producer instruction per virtual key.
+    let mut producers: std::collections::HashMap<VKey, InstId> =
+        std::collections::HashMap::new();
+    // (producer, consumer) pairs at the *virtual* level.
+    let mut vdeps: Vec<(InstId, InstId)> = Vec::new();
+    let mut addr = 0x1_0000_0000u64;
 
-    #[test]
+    for op in ops {
+        match *op {
+            KOp::Produce { v } => {
+                let vk = VKey(u64::from(v));
+                let k = ka.define(vk, &mut b);
+                addr += 0x140;
+                let id = b.cvap_producing(addr, k);
+                producers.insert(vk, id);
+            }
+            KOp::Consume { v } => {
+                let vk = VKey(u64::from(v));
+                let Some(&prod) = producers.get(&vk) else { continue };
+                addr += 0x140;
+                let id = match ka.use_key(vk) {
+                    Some(k) => b.store_consuming(addr, 1, k),
+                    // Spilled: the WAIT_KEY emitted at spill time
+                    // enforces the ordering; the consumer is plain.
+                    None => b.store(addr, 1),
+                };
+                vdeps.push((prod, id));
+            }
+            KOp::Release { v } => {
+                let vk = VKey(u64::from(v));
+                ka.release(vk);
+                producers.remove(&vk);
+            }
+            KOp::Work => {
+                b.compute_chain(3);
+            }
+        }
+    }
+    let program = b.finish();
+
+    for point in [EnforcementPoint::IssueQueue, EnforcementPoint::WriteBuffer] {
+        let mut cfg = CpuConfig::a72();
+        cfg.enforcement = Some(point);
+        let mem = FixedLatencyMem::new(9, 37);
+        let stats = Core::new(cfg, program.clone(), mem)
+            .run(5_000_000)
+            .expect("no deadlock under key pressure");
+        prop_assert_eq!(stats.retired, program.len() as u64);
+        for &(prod, cons) in &vdeps {
+            let p = stats.timings[prod.index()];
+            let c = stats.timings[cons.index()];
+            prop_assert!(
+                p.complete <= c.effect,
+                "{}: virtual dep {}->{}: producer completed at {} but \
+                 consumer took effect at {}",
+                point,
+                prod,
+                cons,
+                p.complete,
+                c.effect
+            );
+        }
+    }
+    Ok(())
+}
+
+property! {
+    #![cases(48)]
+
     fn virtual_deps_survive_allocation_pressure(
-        ops in prop::collection::vec(op_strategy(), 1..80)
+        ops in check::vec(op_strategy(), 1..80)
     ) {
-        let mut b = TraceBuilder::new();
-        let mut ka = KeyAllocator::new();
-        // Latest producer instruction per virtual key.
-        let mut producers: std::collections::HashMap<VKey, InstId> =
-            std::collections::HashMap::new();
-        // (producer, consumer) pairs at the *virtual* level.
-        let mut vdeps: Vec<(InstId, InstId)> = Vec::new();
-        let mut addr = 0x1_0000_0000u64;
-
-        for op in ops {
-            match op {
-                KOp::Produce { v } => {
-                    let vk = VKey(u64::from(v));
-                    let k = ka.define(vk, &mut b);
-                    addr += 0x140;
-                    let id = b.cvap_producing(addr, k);
-                    producers.insert(vk, id);
-                }
-                KOp::Consume { v } => {
-                    let vk = VKey(u64::from(v));
-                    let Some(&prod) = producers.get(&vk) else { continue };
-                    addr += 0x140;
-                    let id = match ka.use_key(vk) {
-                        Some(k) => b.store_consuming(addr, 1, k),
-                        // Spilled: the WAIT_KEY emitted at spill time
-                        // enforces the ordering; the consumer is plain.
-                        None => b.store(addr, 1),
-                    };
-                    vdeps.push((prod, id));
-                }
-                KOp::Release { v } => {
-                    let vk = VKey(u64::from(v));
-                    ka.release(vk);
-                    producers.remove(&vk);
-                }
-                KOp::Work => {
-                    b.compute_chain(3);
-                }
-            }
-        }
-        let program = b.finish();
-
-        for point in [EnforcementPoint::IssueQueue, EnforcementPoint::WriteBuffer] {
-            let mut cfg = CpuConfig::a72();
-            cfg.enforcement = Some(point);
-            let mem = FixedLatencyMem::new(9, 37);
-            let stats = Core::new(cfg, program.clone(), mem)
-                .run(5_000_000)
-                .expect("no deadlock under key pressure");
-            prop_assert_eq!(stats.retired, program.len() as u64);
-            for &(prod, cons) in &vdeps {
-                let p = stats.timings[prod.index()];
-                let c = stats.timings[cons.index()];
-                prop_assert!(
-                    p.complete <= c.effect,
-                    "{point}: virtual dep {prod}->{cons}: producer completed at {} but \
-                     consumer took effect at {} (spills: {})",
-                    p.complete,
-                    c.effect,
-                    0
-                );
-            }
-        }
+        virtual_deps_survive_impl(&ops)?;
     }
 }

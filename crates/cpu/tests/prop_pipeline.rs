@@ -2,13 +2,17 @@
 //! deadlock), retire completely, and honor every architectural ordering —
 //! under both EDE enforcement points, and with both the fixed-latency
 //! test memory and the full memory hierarchy.
+//!
+//! Ported from proptest to `ede_util::check`; the historical regression
+//! entry lives on as `regression_store_key0_then_wait_all`.
 
 use ede_core::ordering::{check_execution_deps, check_full_fences};
 use ede_core::EnforcementPoint;
 use ede_cpu::{Core, CpuConfig, FixedLatencyMem};
 use ede_isa::{Edk, EdkPair, Program, TraceBuilder};
 use ede_mem::{MemConfig, MemSystem};
-use proptest::prelude::*;
+use ede_util::check::{self, any, CaseResult, Just, Strategy};
+use ede_util::{prop_assert_eq, prop_oneof, property};
 
 #[derive(Clone, Copy, Debug)]
 enum Step {
@@ -47,7 +51,7 @@ fn step_strategy() -> impl Strategy<Value = Step> {
 fn addr(a: u8) -> u64 {
     // Half DRAM, half NVM; distinct 16-byte-aligned slots across a few
     // cache lines so same-line and cross-line interactions both occur.
-    let base = if a % 2 == 0 { 0x4000 } else { 0x1_0000_0000 };
+    let base = if a.is_multiple_of(2) { 0x4000 } else { 0x1_0000_0000 };
     base + u64::from(a / 2) * 48 * 16
 }
 
@@ -110,7 +114,7 @@ fn build(steps: &[Step]) -> Program {
     b.finish()
 }
 
-fn check(program: &Program, enforcement: Option<EnforcementPoint>, full_mem: bool) {
+fn check_run(program: &Program, enforcement: Option<EnforcementPoint>, full_mem: bool) {
     let mut cfg = CpuConfig::a72();
     cfg.enforcement = enforcement;
     let stats = if full_mem {
@@ -131,58 +135,75 @@ fn check(program: &Program, enforcement: Option<EnforcementPoint>, full_mem: boo
     assert!(f.is_empty(), "DSB semantics violated: {f:?}");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn all_points_hold(steps: &[Step], full_mem: bool) {
+    let program = build(steps);
+    let points: &[Option<EnforcementPoint>] = if full_mem {
+        &[
+            Some(EnforcementPoint::IssueQueue),
+            Some(EnforcementPoint::WriteBuffer),
+        ]
+    } else {
+        &[
+            None,
+            Some(EnforcementPoint::IssueQueue),
+            Some(EnforcementPoint::WriteBuffer),
+        ]
+    };
+    for &enforcement in points {
+        check_run(&program, enforcement, full_mem);
+    }
+}
 
-    #[test]
+/// §V-A1: the two squash-recovery schemes (non-speculative restore +
+/// ROB replay vs. per-branch checkpoints) are timing-equivalent.
+fn checkpoint_schemes_equivalent_impl(steps: &[Step]) -> CaseResult {
+    let program = build(steps);
+    for enforcement in [
+        Some(EnforcementPoint::IssueQueue),
+        Some(EnforcementPoint::WriteBuffer),
+    ] {
+        let mut a_cfg = CpuConfig::a72();
+        a_cfg.enforcement = enforcement;
+        let mut b_cfg = a_cfg.clone();
+        b_cfg.edm_branch_checkpoints = true;
+        let a = Core::new(a_cfg, program.clone(), FixedLatencyMem::new(7, 40))
+            .run(5_000_000)
+            .expect("replay scheme terminates");
+        let b = Core::new(b_cfg, program.clone(), FixedLatencyMem::new(7, 40))
+            .run(5_000_000)
+            .expect("checkpoint scheme terminates");
+        prop_assert_eq!(a.cycles, b.cycles, "{:?}: schemes diverge", enforcement);
+        prop_assert_eq!(a.squashes, b.squashes);
+        for (i, (ta, tb)) in a.timings.iter().zip(&b.timings).enumerate() {
+            prop_assert_eq!(ta, tb, "instruction {} timing diverged", i);
+        }
+    }
+    Ok(())
+}
+
+property! {
+    #![cases(64)]
+
     fn no_deadlock_and_orderings_hold_fixed_mem(
-        steps in prop::collection::vec(step_strategy(), 1..50)
+        steps in check::vec(step_strategy(), 1..50)
     ) {
-        let program = build(&steps);
-        for enforcement in [None, Some(EnforcementPoint::IssueQueue), Some(EnforcementPoint::WriteBuffer)] {
-            check(&program, enforcement, false);
-        }
+        all_points_hold(&steps, false);
     }
 
-    #[test]
     fn no_deadlock_and_orderings_hold_full_mem(
-        steps in prop::collection::vec(step_strategy(), 1..40)
+        steps in check::vec(step_strategy(), 1..40)
     ) {
-        let program = build(&steps);
-        for enforcement in [Some(EnforcementPoint::IssueQueue), Some(EnforcementPoint::WriteBuffer)] {
-            check(&program, enforcement, true);
-        }
+        all_points_hold(&steps, true);
     }
 
-    /// §V-A1: the two squash-recovery schemes (non-speculative restore +
-    /// ROB replay vs. per-branch checkpoints) are timing-equivalent.
-    #[test]
     fn checkpoint_schemes_are_equivalent(
-        steps in prop::collection::vec(step_strategy(), 1..50)
+        steps in check::vec(step_strategy(), 1..50)
     ) {
-        let program = build(&steps);
-        for enforcement in [Some(EnforcementPoint::IssueQueue), Some(EnforcementPoint::WriteBuffer)] {
-            let mut a_cfg = CpuConfig::a72();
-            a_cfg.enforcement = enforcement;
-            let mut b_cfg = a_cfg.clone();
-            b_cfg.edm_branch_checkpoints = true;
-            let a = Core::new(a_cfg, program.clone(), FixedLatencyMem::new(7, 40))
-                .run(5_000_000)
-                .expect("replay scheme terminates");
-            let b = Core::new(b_cfg, program.clone(), FixedLatencyMem::new(7, 40))
-                .run(5_000_000)
-                .expect("checkpoint scheme terminates");
-            prop_assert_eq!(a.cycles, b.cycles, "{:?}: schemes diverge", enforcement);
-            prop_assert_eq!(a.squashes, b.squashes);
-            for (i, (ta, tb)) in a.timings.iter().zip(&b.timings).enumerate() {
-                prop_assert_eq!(ta, tb, "instruction {} timing diverged", i);
-            }
-        }
+        checkpoint_schemes_equivalent_impl(&steps)?;
     }
 
-    #[test]
     fn tiny_queues_still_make_progress(
-        steps in prop::collection::vec(step_strategy(), 1..30)
+        steps in check::vec(step_strategy(), 1..30)
     ) {
         // Starved structural resources must cause slowdown, never
         // deadlock.
@@ -200,4 +221,23 @@ proptest! {
             .expect("no deadlock with tiny queues");
         prop_assert_eq!(stats.retired, program.len() as u64);
     }
+}
+
+/// Historical proptest counterexample (from the retired
+/// `prop_pipeline.proptest-regressions` file): a store whose use-key is
+/// never produced, followed by `WAIT_ALL_KEYS`, must neither deadlock
+/// nor violate orderings anywhere.
+#[test]
+fn regression_store_key0_then_wait_all() {
+    let steps = [
+        Step::Store {
+            a: 0,
+            key_def: 0,
+            key_use: 1,
+        },
+        Step::WaitAll,
+    ];
+    all_points_hold(&steps, false);
+    all_points_hold(&steps, true);
+    checkpoint_schemes_equivalent_impl(&steps).expect("schemes agree on the regression");
 }

@@ -1,7 +1,8 @@
 //! Property tests: every trace the builder can produce is well formed.
 
 use ede_isa::{disasm, Edk, EdkPair, TraceBuilder};
-use proptest::prelude::*;
+use ede_util::check::{self, any, strings, Just, Strategy};
+use ede_util::{prop_assert, prop_assert_eq, prop_oneof, property};
 
 /// One abstract builder action.
 #[derive(Clone, Debug)]
@@ -49,7 +50,7 @@ fn action_strategy() -> impl Strategy<Value = Action> {
 
 fn addr(idx: u8) -> u64 {
     // A mix of DRAM and NVM lines, 16-byte aligned for STP.
-    if idx % 2 == 0 {
+    if idx.is_multiple_of(2) {
         0x2000 + u64::from(idx) * 0x50 * 16
     } else {
         0x1_0000_0000 + u64::from(idx) * 0x50 * 16
@@ -111,16 +112,40 @@ fn build(actions: &[Action]) -> ede_isa::Program {
     b.finish()
 }
 
-proptest! {
-    #[test]
-    fn built_traces_always_validate(actions in prop::collection::vec(action_strategy(), 0..60)) {
+/// Replaces the old proptest regex strategy
+/// `"(str|ldr|…) [x0-9#@,\[\]\(\) ]{0,30}"`: a real mnemonic followed by
+/// operand-shaped garbage.
+fn mnemonic_garbage() -> impl Strategy<Value = String> {
+    const MNEMONICS: &[&str] = &[
+        "str", "ldr", "stp", "mov", "add", "cmp", "dc", "dsb", "dmb", "join", "wait_key", "nop",
+    ];
+    (
+        0usize..MNEMONICS.len(),
+        strings::from_charset("x0123456789#@,[]() ", 0..31),
+    )
+        .prop_map(|(m, tail)| format!("{} {}", MNEMONICS[m], tail))
+}
+
+fn garbage_line() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("str".to_string()),
+        Just("str (".to_string()),
+        Just("ldr x1".to_string()),
+        Just("dc cvap".to_string()),
+        Just("join (1,2".to_string()),
+        Just("mov x1 #2".to_string()),
+        mnemonic_garbage().boxed(),
+    ]
+}
+
+property! {
+    fn built_traces_always_validate(actions in check::vec(action_strategy(), 0..60)) {
         let p = build(&actions);
         prop_assert!(p.validate().is_ok());
     }
 
-    #[test]
     fn disassembly_never_panics_and_is_nonempty(
-        actions in prop::collection::vec(action_strategy(), 1..40)
+        actions in check::vec(action_strategy(), 1..40)
     ) {
         let p = build(&actions);
         let text = disasm::listing(&p);
@@ -128,8 +153,7 @@ proptest! {
         prop_assert_eq!(text.lines().count(), p.len());
     }
 
-    #[test]
-    fn src_regs_exclude_zero_register(actions in prop::collection::vec(action_strategy(), 1..40)) {
+    fn src_regs_exclude_zero_register(actions in check::vec(action_strategy(), 1..40)) {
         let p = build(&actions);
         for (_, inst) in p.iter() {
             for r in inst.src_regs() {
@@ -141,9 +165,8 @@ proptest! {
         }
     }
 
-    #[test]
     fn encoding_roundtrips_static_fields(
-        actions in prop::collection::vec(action_strategy(), 1..50)
+        actions in check::vec(action_strategy(), 1..50)
     ) {
         use ede_isa::encode::{decode, encode, StaticInst};
         let p = build(&actions);
@@ -154,8 +177,7 @@ proptest! {
         }
     }
 
-    #[test]
-    fn assembly_roundtrips(actions in prop::collection::vec(action_strategy(), 1..50)) {
+    fn assembly_roundtrips(actions in check::vec(action_strategy(), 1..50)) {
         use ede_isa::asm::{assemble, listing_annotated};
         let p = build(&actions);
         let text = listing_annotated(&p);
@@ -163,33 +185,19 @@ proptest! {
         prop_assert_eq!(q, p);
     }
 
-    #[test]
-    fn assembler_never_panics_on_garbage(text in "\\PC{0,200}") {
+    fn assembler_never_panics_on_garbage(text in strings::printable(0..200)) {
         // Arbitrary printable input: must return Ok or Err, never panic.
         let _ = ede_isa::asm::assemble(&text);
     }
 
-    #[test]
     fn assembler_never_panics_on_mnemonic_like_garbage(
-        lines in prop::collection::vec(
-            prop_oneof![
-                Just("str".to_string()),
-                Just("str (".to_string()),
-                Just("ldr x1".to_string()),
-                Just("dc cvap".to_string()),
-                Just("join (1,2".to_string()),
-                Just("mov x1 #2".to_string()),
-                "(str|ldr|stp|mov|add|cmp|dc|dsb|dmb|join|wait_key|nop) [x0-9#@,\\[\\]\\(\\) ]{0,30}",
-            ],
-            0..20,
-        )
+        lines in check::vec(garbage_line(), 0..20)
     ) {
         let text = lines.join("\n");
         let _ = ede_isa::asm::assemble(&text);
     }
 
-    #[test]
-    fn execution_deps_point_backwards(actions in prop::collection::vec(action_strategy(), 1..60)) {
+    fn execution_deps_point_backwards(actions in check::vec(action_strategy(), 1..60)) {
         let p = build(&actions);
         for (producer, consumer) in ede_core_deps(&p) {
             prop_assert!(producer < consumer);
@@ -205,7 +213,7 @@ fn ede_core_deps(p: &ede_isa::Program) -> Vec<(ede_isa::InstId, ede_isa::InstId)
     let mut latest: [Option<ede_isa::InstId>; 16] = [None; 16];
     let mut out = Vec::new();
     for (id, inst) in p.iter() {
-        let mut consume = |k: Edk, out: &mut Vec<_>| {
+        let consume = |k: Edk, out: &mut Vec<_>| {
             if !k.is_zero() {
                 if let Some(prod) = latest[k.index() as usize] {
                     out.push((prod, id));

@@ -71,7 +71,7 @@ impl Cache {
     }
 
     fn set_of(&self, addr: u64) -> usize {
-        (((addr >> self.set_shift) & self.set_mask)) as usize
+        ((addr >> self.set_shift) & self.set_mask) as usize
     }
 
     fn tag_of(&self, addr: u64) -> u64 {

@@ -193,10 +193,7 @@ impl PersistBuffer {
         let mut result = DrainResult::default();
         // Admit queued writes while space remains; a queued write whose
         // device line already has a waiting slot coalesces even when full.
-        loop {
-            let Some(p) = self.pending.front().copied() else {
-                break;
-            };
+        while let Some(p) = self.pending.front().copied() {
             let nvm_line = self.nvm_line_of(p.cache_line);
             let coalesces = self
                 .slots

@@ -54,10 +54,12 @@ mod tests {
 
     #[test]
     fn hit_rate() {
-        let mut s = MemStats::default();
-        s.loads = 8;
-        s.store_drains = 2;
-        s.l1_hits = 5;
+        let s = MemStats {
+            loads: 8,
+            store_drains: 2,
+            l1_hits: 5,
+            ..MemStats::default()
+        };
         assert!((s.l1_hit_rate() - 0.5).abs() < 1e-12);
     }
 }

@@ -3,7 +3,8 @@
 use ede_mem::nvm::PersistBuffer;
 use ede_mem::trace::nvm_image_at;
 use ede_mem::{MemConfig, MemSystem, ReqKind};
-use proptest::prelude::*;
+use ede_util::check::{self, any, Just, Strategy};
+use ede_util::{prop_assert, prop_assert_eq, prop_oneof, property};
 use std::collections::HashSet;
 
 #[derive(Clone, Copy, Debug)]
@@ -19,14 +20,13 @@ fn buf_op() -> impl Strategy<Value = BufOp> {
     ]
 }
 
-proptest! {
+property! {
     /// The persist buffer never exceeds capacity, never loses a write,
     /// and accounts every insert as a merge, a slot, or a queued entry.
-    #[test]
     fn persist_buffer_accounting(
-        ops in prop::collection::vec(buf_op(), 1..200),
+        ops in check::vec(buf_op(), 1..200),
         capacity in 1usize..16,
-        writers in 1usize..4,
+        writers in 1usize..4
     ) {
         let mut buf = PersistBuffer::new(capacity, writers, 256);
         let mut outstanding_media = 0usize;
@@ -68,9 +68,8 @@ proptest! {
     }
 
     /// Every accepted request eventually completes, exactly once.
-    #[test]
     fn mem_system_completes_every_request(
-        reqs in prop::collection::vec((0u8..3, 0u8..24), 1..120)
+        reqs in check::vec((0u8..3, 0u8..24), 1..120)
     ) {
         let cfg = MemConfig::a72_hybrid();
         let mut mem = MemSystem::new(cfg.clone());
@@ -115,10 +114,9 @@ proptest! {
     /// Image reconstruction: a word appears in the crash image only if it
     /// was stored earlier and its line persisted afterwards; its value is
     /// the latest store at-or-before the covering persist.
-    #[test]
     fn image_words_have_provenance(
-        events in prop::collection::vec((0u8..8, any::<u64>(), any::<bool>()), 1..60),
-        crash_at in 0u64..200,
+        events in check::vec((0u8..8, any::<u64>(), any::<bool>()), 1..60),
+        crash_at in 0u64..200
     ) {
         use ede_mem::trace::{PersistEvent, PersistTrace, StoreEvent};
         let mut t = PersistTrace::default();
@@ -141,8 +139,7 @@ proptest! {
             let p = p.expect("checked");
             // The value must equal the latest store at/before that persist.
             let expect = t.stores.iter()
-                .filter(|s| s.addr == waddr && s.cycle <= p)
-                .next_back()
+                .rfind(|s| s.addr == waddr && s.cycle <= p)
                 .map(|s| s.value[0]);
             prop_assert_eq!(Some(wval), expect);
         }

@@ -215,14 +215,9 @@ impl CowTxWriter {
         let _ = txid;
         let logical = slot * 64 + word * 8;
         let old_block = self.block_of(slot, true);
-        let old_logical_value = {
-            let shadowed = self.shadows.contains_key(&slot);
-            if shadowed {
-                self.mem.read(old_block + word * 8)
-            } else {
-                self.mem.read(old_block + word * 8)
-            }
-        };
+        // block_of(_, true) already resolved to the shadow when one
+        // exists, so the same read covers both cases.
+        let old_logical_value = self.mem.read(old_block + word * 8);
         let block = if let Some(&s) = self.shadows.get(&slot) {
             s
         } else {
@@ -513,8 +508,7 @@ pub fn cow_update_kernel(
     slots: u64,
     seed: u64,
 ) -> (TxOutput, CowMeta) {
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
+    use ede_util::rng::SmallRng;
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut tx = CowTxWriter::new(Layout::standard(), arch, slots);
     tx.finish_init();

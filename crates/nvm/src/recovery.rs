@@ -61,7 +61,7 @@ pub fn recover(image: &mut NvmImage, layout: &Layout) -> RecoveryResult {
         .collect();
     // Newest transaction first: later pre-images are overwritten by
     // earlier (older) ones, landing at the oldest consistent state.
-    entries.sort_by(|a, b| b.txid.cmp(&a.txid));
+    entries.sort_by_key(|e| std::cmp::Reverse(e.txid));
     let rolled_back = entries.len();
     for e in &entries {
         image.insert(e.addr, e.old);
@@ -106,7 +106,7 @@ pub fn recovery_trace(image: &NvmImage, layout: &Layout) -> ede_isa::Program {
             }
         }
     }
-    entries.sort_by(|a, b| b.txid.cmp(&a.txid));
+    entries.sort_by_key(|e| std::cmp::Reverse(e.txid));
     for e in &entries {
         b.store(e.addr, e.old);
         b.cvap(e.addr);

@@ -358,8 +358,7 @@ pub fn redo_update_kernel(
     elems: u64,
     seed: u64,
 ) -> TxOutput {
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
+    use ede_util::rng::SmallRng;
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut tx = RedoTxWriter::new(Layout::standard(), arch);
     let base = tx.heap_alloc(elems * 8, 64);

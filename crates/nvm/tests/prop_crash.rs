@@ -3,14 +3,14 @@
 use ede_isa::ArchConfig;
 use ede_nvm::recovery::{recover, NvmImage};
 use ede_nvm::{CrashChecker, Layout, TxWriter};
-use proptest::prelude::*;
+use ede_util::check::{self, any};
+use ede_util::{prop_assert, prop_assert_eq, prop_assume, property};
 
-proptest! {
+property! {
     /// Recovery is idempotent: running it twice gives the same image.
-    #[test]
     fn recovery_is_idempotent(
-        words in prop::collection::vec((0u64..512, any::<u64>()), 0..64),
-        header in 0u64..5,
+        words in check::vec((0u64..512, any::<u64>()), 0..64),
+        header in 0u64..5
     ) {
         let layout = Layout::standard();
         let mut image: NvmImage = words
@@ -30,10 +30,9 @@ proptest! {
     /// For any sequence of transactional writes, the final functional
     /// memory is consistent with the transaction record, and a "crash"
     /// after full persistence recovers to the final state.
-    #[test]
     fn full_persistence_recovers_to_final_state(
-        tx_sizes in prop::collection::vec(1usize..6, 1..6),
-        values in prop::collection::vec((0u64..8, any::<u64>()), 1..30),
+        tx_sizes in check::vec(1usize..6, 1..6),
+        values in check::vec((0u64..8, any::<u64>()), 1..30)
     ) {
         let layout = Layout::standard();
         let mut tx = TxWriter::new(layout, ArchConfig::Baseline);
@@ -82,9 +81,8 @@ proptest! {
     /// The crash checker accepts the trivial "everything persisted in
     /// program order" trace for any write pattern, and flags an image
     /// where a committed transaction's write is replaced by garbage.
-    #[test]
     fn checker_detects_corruption(
-        writes in prop::collection::vec((0u64..4, 1u64..1000), 1..10),
+        writes in check::vec((0u64..4, 1u64..1000), 1..10)
     ) {
         let layout = Layout::standard();
         let mut tx = TxWriter::new(layout, ArchConfig::Baseline);

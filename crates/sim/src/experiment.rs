@@ -7,22 +7,14 @@ use ede_cpu::CoreError;
 use ede_isa::ArchConfig;
 use ede_workloads::{standard_suite, Workload, WorkloadParams};
 
-/// Shared experiment setup.
-#[derive(Clone, Debug)]
+/// Shared experiment setup. The derived default is the A72-like machine
+/// (`SimConfig::default()` is `SimConfig::a72()`).
+#[derive(Clone, Debug, Default)]
 pub struct ExperimentConfig {
     /// Workload parameters (operation count, transaction size, seed…).
     pub params: WorkloadParams,
     /// Machine configuration.
     pub sim: SimConfig,
-}
-
-impl Default for ExperimentConfig {
-    fn default() -> Self {
-        ExperimentConfig {
-            params: WorkloadParams::default(),
-            sim: SimConfig::a72(),
-        }
-    }
 }
 
 /// One application's row in Figure 9.
@@ -112,9 +104,9 @@ pub fn fig9_with(
         });
     }
     let mut geo = [0f64; 5];
-    for i in 0..5 {
+    for (i, g) in geo.iter_mut().enumerate() {
         let xs: Vec<f64> = rows.iter().map(|r| r.normalized[i]).collect();
-        geo[i] = geomean(&xs);
+        *g = geomean(&xs);
     }
     Ok(Fig9 {
         rows,

@@ -1,0 +1,27 @@
+//! Zero-dependency infrastructure for the EDE workspace.
+//!
+//! The evaluation environment is hermetic: `cargo build` and `cargo test`
+//! must complete with no network access and no external registry
+//! dependencies. This crate supplies, in-repo, the three pieces of
+//! infrastructure the workspace previously pulled from crates.io:
+//!
+//! * [`rng`] — a seedable, deterministic PRNG (SplitMix64-seeded
+//!   xoshiro256++) with the `gen` / `gen_range` / `gen_bool` / `shuffle`
+//!   surface the workload generators use;
+//! * [`check`] — a minimal property-testing harness: generator
+//!   combinators, bounded shrinking, deterministic per-test seeding, and
+//!   `EDE_PROPTEST_CASES` / `EDE_PROPTEST_SEED` environment overrides;
+//! * [`bench`] — a small wall-clock benchmark harness with a
+//!   Criterion-like API (`bench_function`, `iter`, `iter_custom`,
+//!   benchmark groups) for the `benches/` targets.
+//!
+//! Everything is deterministic by construction: a property-test failure
+//! prints the seed that reproduces it, and the same seed always replays
+//! the same cases.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod check;
+pub mod rng;

@@ -7,8 +7,7 @@
 use crate::{mispredict, rng_for, Workload, WorkloadParams};
 use ede_isa::ArchConfig;
 use ede_nvm::{Layout, SimMemory, TxOutput, TxWriter};
-use rand::rngs::SmallRng;
-use rand::Rng;
+use ede_util::rng::SmallRng;
 
 /// Maximum keys per node; nodes split at this size, leaving at least 3.
 const MAX_KEYS: u64 = 7;

@@ -7,8 +7,7 @@
 use crate::{mispredict, rng_for, Workload, WorkloadParams};
 use ede_isa::ArchConfig;
 use ede_nvm::{Layout, SimMemory, TxOutput, TxWriter};
-use rand::rngs::SmallRng;
-use rand::Rng;
+use ede_util::rng::SmallRng;
 
 /// Node tags (word 0).
 const TAG_INTERNAL: u64 = 1;
@@ -336,7 +335,6 @@ mod tests {
 
     #[test]
     fn delete_matches_map_oracle() {
-        use rand::Rng;
         let params = WorkloadParams {
             ops: 1,
             ops_per_tx: 1,

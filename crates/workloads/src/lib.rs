@@ -41,8 +41,7 @@ pub mod zipf;
 
 use ede_isa::ArchConfig;
 use ede_nvm::TxOutput;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use ede_util::rng::SmallRng;
 
 /// Parameters shared by every workload.
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -96,7 +95,7 @@ impl IndexSampler {
         }
     }
 
-    pub(crate) fn sample(&self, rng: &mut rand::rngs::SmallRng) -> u64 {
+    pub(crate) fn sample(&self, rng: &mut SmallRng) -> u64 {
         match self {
             IndexSampler::Uniform(n) => rng.gen_range(0..*n),
             IndexSampler::Zipf(z) => z.sample(rng),

@@ -8,8 +8,7 @@
 use crate::{mispredict, rng_for, Workload, WorkloadParams};
 use ede_isa::ArchConfig;
 use ede_nvm::{Layout, SimMemory, TxOutput, TxWriter};
-use rand::rngs::SmallRng;
-use rand::Rng;
+use ede_util::rng::SmallRng;
 
 /// Word offsets within a node: key, value, color, left, right, parent.
 const KEY: u64 = 0;
@@ -722,12 +721,11 @@ mod tests {
         let (out, root_ptr, nil) = generate(500);
         let h = check_invariants(&out.memory, root_ptr, nil).expect("valid red-black tree");
         // 500 nodes: black height in a sane range.
-        assert!(h >= 3 && h <= 12, "black height {h}");
+        assert!((3..=12).contains(&h), "black height {h}");
     }
 
     #[test]
     fn delete_matches_map_oracle_and_keeps_invariants() {
-        use rand::Rng;
         let params = WorkloadParams {
             ops: 200,
             ops_per_tx: 200,

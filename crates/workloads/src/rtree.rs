@@ -7,7 +7,7 @@
 use crate::{mispredict, rng_for, Workload, WorkloadParams};
 use ede_isa::ArchConfig;
 use ede_nvm::{Layout, SimMemory, TxOutput, TxWriter};
-use rand::Rng;
+use ede_util::rng::SmallRng;
 
 /// Child slots per node.
 const RADIX: u64 = 256;
@@ -70,7 +70,7 @@ impl Workload for RTree {
 
 fn insert(
     tx: &mut TxWriter,
-    branches: &mut rand::rngs::SmallRng,
+    branches: &mut SmallRng,
     params: &WorkloadParams,
     root: u64,
     key: u32,
@@ -196,7 +196,7 @@ mod tests {
         let l2 = out.memory.read(l1 + 0xBB * 8);
         let l3 = out.memory.read(l2 + 0xCC * 8);
         assert_ne!(l3, 0);
-        assert_ne!(out.memory.read(l3 + 0x01 * 8), 0);
+        assert_ne!(out.memory.read(l3 + 8), 0);
         assert_ne!(out.memory.read(l3 + 0x02 * 8), 0);
     }
 }

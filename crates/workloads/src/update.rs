@@ -4,7 +4,6 @@
 use crate::{mispredict, rng_for, Workload, WorkloadParams};
 use ede_isa::ArchConfig;
 use ede_nvm::{Layout, TxOutput, TxWriter};
-use rand::Rng;
 
 /// Update random elements in a persistent array, with undo logging for
 /// crash consistency — the paper's primary motivating kernel (Figure 1).

@@ -4,8 +4,7 @@
 //! over array indices lets the kernels model hot-set behavior (θ = 0 is
 //! uniform; θ ≈ 0.99 is the YCSB default; larger is hotter).
 
-use rand::rngs::SmallRng;
-use rand::Rng;
+use ede_util::rng::SmallRng;
 
 /// A Zipf(θ) sampler over `0..n`, using a precomputed CDF and binary
 /// search (exact, O(n) setup, O(log n) per sample).
@@ -14,7 +13,7 @@ use rand::Rng;
 ///
 /// ```
 /// use ede_workloads::zipf::Zipf;
-/// use rand::{rngs::SmallRng, SeedableRng};
+/// use ede_util::rng::SmallRng;
 ///
 /// let z = Zipf::new(1000, 0.99);
 /// let mut rng = SmallRng::seed_from_u64(7);
@@ -73,7 +72,6 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn histogram(n: u64, theta: f64, samples: usize) -> Vec<u64> {
         let z = Zipf::new(n, theta);

@@ -3,10 +3,10 @@
 //! architecture configuration (lowering must never change semantics).
 
 use ede_isa::ArchConfig;
+use ede_util::check::{self, any, CaseError};
+use ede_util::rng::SmallRng;
+use ede_util::{prop_assert_eq, property};
 use ede_workloads::{btree, ctree, rbtree, rtree, Workload, WorkloadParams};
-use proptest::prelude::*;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
 
 fn params(seed: u64, ops: usize, prepopulate: usize) -> WorkloadParams {
@@ -32,10 +32,9 @@ fn keys_model(seed: u64, salt: u64, n: usize) -> BTreeMap<u64, u64> {
     m
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+property! {
+    #![cases(12)]
 
-    #[test]
     fn btree_matches_oracle(seed in 0u64..1_000_000, ops in 1usize..120, pre in 0usize..100) {
         let p = params(seed, ops, pre);
         for arch in [ArchConfig::Baseline, ArchConfig::WriteBuffer] {
@@ -49,7 +48,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn ctree_matches_oracle(seed in 0u64..1_000_000, ops in 1usize..120, pre in 0usize..100) {
         let p = params(seed, ops, pre);
         let out = ctree::CTree.generate(&p, ArchConfig::IssueQueue);
@@ -61,7 +59,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn rbtree_matches_oracle_and_invariants(
         seed in 0u64..1_000_000, ops in 1usize..120, pre in 0usize..100
     ) {
@@ -74,10 +71,9 @@ proptest! {
             prop_assert_eq!(rbtree::lookup(&out.memory, root_ptr, nil, k), Some(v));
         }
         rbtree::check_invariants(&out.memory, root_ptr, nil)
-            .map_err(|e| TestCaseError::fail(e))?;
+            .map_err(CaseError::fail)?;
     }
 
-    #[test]
     fn rtree_matches_oracle(seed in 0u64..1_000_000, ops in 1usize..120, pre in 0usize..100) {
         let p = params(seed, ops, pre);
         let out = rtree::RTree.generate(&p, ArchConfig::StoreBarrierUnsafe);
@@ -105,10 +101,9 @@ proptest! {
 
     /// Random insert/delete interleavings keep the red–black tree
     /// equivalent to a map and its invariants intact.
-    #[test]
     fn rbtree_insert_delete_interleavings(
         seed in 0u64..1_000_000,
-        ops in prop::collection::vec((0u8..3, 0u64..60, any::<u64>()), 1..80),
+        ops in check::vec((0u8..3, 0u64..60, any::<u64>()), 1..80)
     ) {
         use ede_nvm::{Layout, TxWriter};
         let p = params(seed, 1, 0);
@@ -136,7 +131,7 @@ proptest! {
         }
         let out = tx.finish();
         rbtree::check_invariants(&out.memory, root_ptr, nil)
-            .map_err(TestCaseError::fail)?;
+            .map_err(CaseError::fail)?;
         for k in 0..60u64 {
             prop_assert_eq!(
                 rbtree::lookup(&out.memory, root_ptr, nil, k),
@@ -146,10 +141,9 @@ proptest! {
     }
 
     /// Same interleaving property for the crit-bit trie.
-    #[test]
     fn ctree_insert_delete_interleavings(
         seed in 0u64..1_000_000,
-        ops in prop::collection::vec((0u8..3, 0u64..60, any::<u64>()), 1..80),
+        ops in check::vec((0u8..3, 0u64..60, any::<u64>()), 1..80)
     ) {
         use ede_nvm::{Layout, TxWriter};
         let p = params(seed, 1, 0);
@@ -185,7 +179,6 @@ proptest! {
 
     /// Arch configuration never changes semantics: the transaction
     /// records are identical across all five configurations.
-    #[test]
     fn lowering_preserves_semantics(seed in 0u64..1_000_000) {
         let p = params(seed, 40, 20);
         for w in ede_workloads::standard_suite() {

@@ -8,7 +8,7 @@ use ede_nvm::CrashChecker;
 use ede_sim::{run_workload, SimConfig};
 use ede_workloads::{update::Update, WorkloadParams};
 
-fn main() {
+pub fn main() {
     let params = WorkloadParams {
         ops: 120,
         ops_per_tx: 40,

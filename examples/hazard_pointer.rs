@@ -64,7 +64,7 @@ fn announcement(use_ede: bool, rounds: u64) -> ede_isa::Program {
     b.finish()
 }
 
-fn main() {
+pub fn main() {
     let rounds = 200;
     let fenced = announcement(false, rounds);
     let ede = announcement(true, rounds);

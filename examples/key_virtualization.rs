@@ -41,7 +41,7 @@ fn build(pairs: u64, release_eagerly: bool) -> (ede_isa::Program, u64) {
     (b.finish(), ka.spills())
 }
 
-fn main() {
+pub fn main() {
     let sim = SimConfig::a72();
     println!("60 producer→consumer pairs, four times the 15 physical keys:\n");
     for (label, eager) in [("live ranges tracked (release after last use)", true),

@@ -8,7 +8,7 @@ use ede_isa::{disasm, ArchConfig, Edk, TraceBuilder};
 use ede_sim::runner::{raw_output, run_program};
 use ede_sim::SimConfig;
 
-fn main() {
+pub fn main() {
     // The paper's Figure 1 scenario: three independent persistent
     // updates, each requiring "log entry persists before data store".
     let nvm = 0x1_0000_0000u64;

@@ -57,7 +57,7 @@ fn show(label: &str, program: Program, arch: ArchConfig) -> u64 {
     r.cycles
 }
 
-fn main() {
+pub fn main() {
     println!(
         "Figure 3 / Figure 8: three independent updates. Each needs its\n\
          log persist (dc cvap of the slot) to complete before its data\n\

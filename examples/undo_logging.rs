@@ -8,12 +8,12 @@ use ede_nvm::{CrashChecker, Layout, TxWriter};
 use ede_sim::runner::run_program;
 use ede_sim::SimConfig;
 
-fn main() {
+pub fn main() {
     let sim = SimConfig::a72();
     println!("p_array[0..3] updated inside one failure-atomic transaction\n");
     println!(
-        "{:4} {:>8} {:>8}  {:>7}  {}",
-        "cfg", "insts", "cycles", "fences", "crash-safe at every instant?"
+        "{:4} {:>8} {:>8}  {:>7}  crash-safe at every instant?",
+        "cfg", "insts", "cycles", "fences"
     );
     for arch in ArchConfig::ALL {
         // The framework code of Figure 1(b): p_array[i] = v via operator

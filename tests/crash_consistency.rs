@@ -10,7 +10,7 @@
 use ede_isa::ArchConfig;
 use ede_nvm::CrashChecker;
 use ede_sim::{run_workload, SimConfig};
-use ede_workloads::{standard_suite, update::Update, Workload, WorkloadParams};
+use ede_workloads::{standard_suite, update::Update, WorkloadParams};
 
 fn params() -> WorkloadParams {
     WorkloadParams {

@@ -1,0 +1,52 @@
+//! Smoke tests: every `examples/*.rs` target runs to completion. Each
+//! example is compiled into this test as a `#[path]` module (their
+//! `main`s are `pub` for exactly this reason) — which also guarantees the
+//! examples keep compiling and keep working as the library APIs evolve.
+
+#[path = "../examples/quickstart.rs"]
+mod quickstart;
+
+#[path = "../examples/undo_logging.rs"]
+mod undo_logging;
+
+#[path = "../examples/timeline.rs"]
+mod timeline;
+
+#[path = "../examples/hazard_pointer.rs"]
+mod hazard_pointer;
+
+#[path = "../examples/crash_recovery.rs"]
+mod crash_recovery;
+
+#[path = "../examples/key_virtualization.rs"]
+mod key_virtualization;
+
+#[test]
+fn quickstart_runs() {
+    quickstart::main();
+}
+
+#[test]
+fn undo_logging_runs() {
+    undo_logging::main();
+}
+
+#[test]
+fn timeline_runs() {
+    timeline::main();
+}
+
+#[test]
+fn hazard_pointer_runs() {
+    hazard_pointer::main();
+}
+
+#[test]
+fn crash_recovery_runs() {
+    crash_recovery::main();
+}
+
+#[test]
+fn key_virtualization_runs() {
+    key_virtualization::main();
+}
