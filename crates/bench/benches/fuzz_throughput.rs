@@ -1,0 +1,64 @@
+//! Conformance-fuzzing throughput: wall-clock cases/second of the
+//! `ede-check` differential loop (generate → simulate on each
+//! configuration → golden model → axiom check). This bounds how large a
+//! nightly fuzz budget is affordable; a regression here silently shrinks
+//! the programs-per-night coverage even when every case still passes.
+
+use ede_check::fuzz::{fuzz, FuzzOptions};
+use ede_isa::ArchConfig;
+use ede_util::bench::Criterion;
+use ede_util::{criterion_group, criterion_main};
+
+/// One fuzz batch; panics if a case fails so a real conformance bug can
+/// never hide inside a timing report.
+fn run_batch(seed: u64, cases: u32, archs: Vec<ArchConfig>) {
+    let report = fuzz(&FuzzOptions {
+        seed,
+        cases,
+        max_cmds: 30,
+        archs,
+        ..FuzzOptions::default()
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+}
+
+/// Cases/second with the full crash-safe trio per case (the CI shape).
+fn fuzz_all_archs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fuzz_throughput");
+    group.sample_size(10);
+    group.bench_function("B+IQ+WB/20-cases", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            run_batch(seed, 20, FuzzOptions::default().archs);
+        });
+    });
+    group.finish();
+}
+
+/// Per-architecture cost split: how much of the loop each config buys.
+fn fuzz_single_arch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fuzz_throughput_per_arch");
+    group.sample_size(10);
+    for arch in [ArchConfig::Baseline, ArchConfig::IssueQueue, ArchConfig::WriteBuffer] {
+        group.bench_function(format!("{}/20-cases", arch.label()), |b| {
+            let mut seed = 1000u64;
+            b.iter(|| {
+                seed += 1;
+                run_batch(seed, 20, vec![arch]);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .without_plots()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = fuzz_all_archs,
+    fuzz_single_arch
+);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! `ede-sim` — the conformance-checking CLI.
+//!
+//! ```text
+//! ede-sim fuzz [--seed N] [--cases N] [--max-cmds N] [--arch B,IQ,WB]
+//!              [--fault drop-edeps|weak-dsb] [--shrink-iters N]
+//! ```
+//!
+//! Runs the differential fuzzer: seeded random programs through the
+//! cycle-level pipeline on each architecture, conformance-checked against
+//! the golden in-order model. Exit status: 0 when every case conforms,
+//! 2 when a (shrunk) counterexample was found, 1 on usage errors.
+
+use ede_check::fuzz::{fuzz, FuzzOptions};
+use ede_cpu::FaultInjection;
+use ede_isa::ArchConfig;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: ede-sim fuzz [--seed N] [--cases N] [--max-cmds N] \
+         [--arch B,IQ,WB] [--fault drop-edeps|weak-dsb] [--shrink-iters N]"
+    );
+    ExitCode::from(1)
+}
+
+fn parse_archs(spec: &str) -> Option<Vec<ArchConfig>> {
+    spec.split(',')
+        .map(|label| ArchConfig::ALL.into_iter().find(|a| a.label() == label))
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) != Some("fuzz") {
+        return usage();
+    }
+    let mut opts = FuzzOptions::default();
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        let Some(value) = it.next() else {
+            return usage();
+        };
+        let ok = match flag.as_str() {
+            "--seed" => value.parse().map(|v| opts.seed = v).is_ok(),
+            "--cases" => value.parse().map(|v| opts.cases = v).is_ok(),
+            "--max-cmds" => value.parse().map(|v| opts.max_cmds = v).is_ok(),
+            "--shrink-iters" => value.parse().map(|v| opts.max_shrink_iters = v).is_ok(),
+            "--arch" => match parse_archs(value) {
+                Some(archs) => {
+                    opts.archs = archs;
+                    true
+                }
+                None => false,
+            },
+            "--fault" => match value.as_str() {
+                "drop-edeps" => {
+                    opts.fault = Some(FaultInjection::DropEdeps);
+                    true
+                }
+                "weak-dsb" => {
+                    opts.fault = Some(FaultInjection::WeakDsb);
+                    true
+                }
+                _ => false,
+            },
+            _ => false,
+        };
+        if !ok {
+            return usage();
+        }
+    }
+
+    let arch_labels: Vec<&str> = opts.archs.iter().map(|a| a.label()).collect();
+    println!(
+        "fuzz: seed {:#x}, {} cases, ≤{} cmds, archs [{}]{}",
+        opts.seed,
+        opts.cases,
+        opts.max_cmds,
+        arch_labels.join(", "),
+        match opts.fault {
+            Some(f) => format!(", injected fault {f:?}"),
+            None => String::new(),
+        },
+    );
+    let report = fuzz(&opts);
+    match report.failure {
+        None => {
+            println!("ok: {} cases, zero conformance diffs", report.cases_run);
+            ExitCode::SUCCESS
+        }
+        Some(f) => {
+            println!(
+                "FAILURE at case {} (case seed {:#x}) on {}: \
+                 minimal program after {} shrink steps ({} instructions)",
+                f.case,
+                f.case_seed,
+                f.arch,
+                f.shrink_steps,
+                f.program.len(),
+            );
+            println!("commands: {:?}", f.cmds);
+            println!("{}", ede_isa::asm::listing_annotated(&f.program));
+            for d in &f.diffs {
+                println!("diff: {d}");
+            }
+            println!(
+                "replay: ede-sim fuzz --seed {:#x} --cases {} --arch {}",
+                opts.seed,
+                f.case + 1,
+                f.arch.label(),
+            );
+            ExitCode::from(2)
+        }
+    }
+}

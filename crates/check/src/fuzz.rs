@@ -1,0 +1,185 @@
+//! The differential fuzz driver.
+//!
+//! Ties the generator, the pipeline, the golden model, and the
+//! conformance checker together: for each seeded case, generate a random
+//! program, run it through the cycle-level pipeline on every requested
+//! [`ArchConfig`], and run every conformance axiom. On the first failing
+//! case the command list is shrunk (rose-tree greedy descent via
+//! [`ede_util::check::minimize`]) to a minimal program that still fails.
+//!
+//! Reproducing a failure is two numbers: the base `seed` and the failing
+//! `case` index identify the program exactly (the per-case seed is drawn
+//! from a `SplitMix64` stream over the base seed).
+
+use crate::conform::check_run;
+use crate::gen::{cmds_strategy, concretize, Cmd};
+use crate::golden::{self, GoldenConfig};
+use ede_cpu::FaultInjection;
+use ede_isa::{ArchConfig, Program};
+use ede_sim::{raw_output, run_program_traced, SimConfig};
+use ede_util::check::{minimize, Strategy};
+use ede_util::rng::{mix64, SmallRng, SplitMix64};
+
+/// Fuzzing parameters.
+#[derive(Clone, Debug)]
+pub struct FuzzOptions {
+    /// Base seed; every case seed derives from it deterministically.
+    pub seed: u64,
+    /// Number of programs to generate and check.
+    pub cases: u32,
+    /// Maximum commands per generated program.
+    pub max_cmds: usize,
+    /// Architecture configurations to differentiate against.
+    pub archs: Vec<ArchConfig>,
+    /// Deliberate pipeline bug to inject (checker self-test).
+    pub fault: Option<FaultInjection>,
+    /// Shrink budget: maximum candidate re-simulations.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for FuzzOptions {
+    fn default() -> Self {
+        FuzzOptions {
+            seed: 0,
+            cases: 100,
+            max_cmds: 40,
+            // The crash-safe trio the acceptance criteria name. SU and U
+            // are *architecturally* conformant too (their unsafety is a
+            // missing ordering in the program, not the pipeline), so they
+            // may be added, but the default mirrors the CI contract.
+            archs: vec![ArchConfig::Baseline, ArchConfig::IssueQueue, ArchConfig::WriteBuffer],
+            fault: None,
+            max_shrink_iters: 4096,
+        }
+    }
+}
+
+/// A conformance failure, shrunk to a minimal reproducer.
+#[derive(Clone, Debug)]
+pub struct FuzzFailure {
+    /// Which case (0-based) failed.
+    pub case: u32,
+    /// The derived per-case seed (for direct replay).
+    pub case_seed: u64,
+    /// The architecture the minimal program fails on.
+    pub arch: ArchConfig,
+    /// The minimal failing command list.
+    pub cmds: Vec<Cmd>,
+    /// The minimal failing program (concretized `cmds`).
+    pub program: Program,
+    /// The conformance diffs the minimal program produces.
+    pub diffs: Vec<String>,
+    /// Successful shrink steps taken from the original failing program.
+    pub shrink_steps: u32,
+}
+
+/// Outcome of a fuzzing session.
+#[derive(Clone, Debug)]
+pub struct FuzzReport {
+    /// Cases executed (equals the budget unless a failure stopped it).
+    pub cases_run: u32,
+    /// The first failure found, if any, already shrunk.
+    pub failure: Option<FuzzFailure>,
+}
+
+/// The simulation configuration cases run under: A72 tables with a cycle
+/// budget small enough that a deadlocked candidate fails fast during
+/// shrinking yet generous for any generated program (which retires in
+/// tens of thousands of cycles at worst).
+fn fuzz_sim(fault: Option<FaultInjection>) -> SimConfig {
+    let mut sim = SimConfig::a72();
+    sim.max_cycles = 2_000_000;
+    sim.cpu.fault = fault;
+    sim
+}
+
+/// Checks one command list on one architecture; returns conformance
+/// diffs (empty = conformant).
+pub fn diff_case(cmds: &[Cmd], arch: ArchConfig, fault: Option<FaultInjection>) -> Vec<String> {
+    let program = concretize(cmds);
+    let golden = match golden::run(&program, &GoldenConfig::default()) {
+        Ok(g) => g,
+        // A generator bug, not a pipeline bug — still a failure.
+        Err(e) => return vec![format!("golden model rejected the program: {e}")],
+    };
+    let sim = fuzz_sim(fault);
+    match run_program_traced("fuzz", raw_output(program), arch, &sim) {
+        Ok((result, rec)) => check_run(&result, &rec, &golden),
+        Err(e) => vec![format!("pipeline did not complete: {e:?}")],
+    }
+}
+
+/// Runs the differential fuzzer. Deterministic in `opts`.
+pub fn fuzz(opts: &FuzzOptions) -> FuzzReport {
+    let strat = cmds_strategy(opts.max_cmds);
+    let mut case_seeds = SplitMix64::new(mix64(opts.seed));
+    for case in 0..opts.cases {
+        let case_seed = case_seeds.next_u64();
+        let mut rng = SmallRng::seed_from_u64(case_seed);
+        let sh = strat.generate(&mut rng);
+        let failing_arch = opts
+            .archs
+            .iter()
+            .copied()
+            .find(|&arch| !diff_case(&sh.value, arch, opts.fault).is_empty());
+        if let Some(arch) = failing_arch {
+            let fault = opts.fault;
+            let (cmds, shrink_steps) = minimize(sh, opts.max_shrink_iters, |cmds| {
+                !diff_case(cmds, arch, fault).is_empty()
+            });
+            let diffs = diff_case(&cmds, arch, fault);
+            let program = concretize(&cmds);
+            return FuzzReport {
+                cases_run: case + 1,
+                failure: Some(FuzzFailure {
+                    case,
+                    case_seed,
+                    arch,
+                    cmds,
+                    program,
+                    diffs,
+                    shrink_steps,
+                }),
+            };
+        }
+    }
+    FuzzReport {
+        cases_run: opts.cases,
+        failure: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_budget_conforms() {
+        let report = fuzz(&FuzzOptions {
+            cases: 5,
+            max_cmds: 15,
+            ..FuzzOptions::default()
+        });
+        assert_eq!(report.cases_run, 5);
+        assert!(report.failure.is_none(), "{:?}", report.failure);
+    }
+
+    #[test]
+    fn injected_drop_edeps_is_caught_and_shrunk() {
+        let report = fuzz(&FuzzOptions {
+            cases: 40,
+            max_cmds: 40,
+            fault: Some(FaultInjection::DropEdeps),
+            ..FuzzOptions::default()
+        });
+        let failure = report.failure.expect("a dropped-dependence pipeline must fail");
+        assert!(!failure.diffs.is_empty());
+        // The shrunk reproducer is tiny: a producer and a consumer.
+        assert!(
+            failure.program.len() <= 10,
+            "minimal program has {} instructions:\n{:?}",
+            failure.program.len(),
+            failure.cmds
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! Differential conformance checking for the EDE pipeline.
+//!
+//! The paper's evaluation stands on the out-of-order pipeline in
+//! `ede-cpu` enforcing *exactly* the execution dependences the ISA
+//! expresses — a bug in rename, the issue queue, or write-buffer drain
+//! silently invalidates every figure. This crate checks the pipeline
+//! against an independent oracle on adversarial inputs, in the style of
+//! herd-like litmus conformance tooling:
+//!
+//! * [`golden`] — an architectural **in-order interpreter** for the full
+//!   `ede-isa` instruction set. It produces final register/memory state,
+//!   a sequential persist order, and the per-address store sequences a
+//!   sequentially-executed program must exhibit.
+//! * [`gen`] — a seeded **litmus fuzzer** on `ede_util::check`: random
+//!   well-formed programs biased toward EDE key reuse, aliasing stores,
+//!   flush/fence interleavings, and key-exhaustion pressure, with
+//!   rose-tree shrinking to a minimal failing program.
+//! * [`conform`] — the **persist-order conformance checker**: replays a
+//!   run's `PersistTrace` and pipeline events against the EDE ordering
+//!   axioms (declared execution dependences, `DSB`/`DMB` semantics,
+//!   same-address coherence) and diffs the final NVM image against the
+//!   golden model.
+//! * [`fuzz`] — the differential driver tying the three together across
+//!   `ArchConfig`s, used by the `ede-sim fuzz` CLI and the CI smoke job.
+//!
+//! # Example
+//!
+//! ```
+//! use ede_check::fuzz::{fuzz, FuzzOptions};
+//!
+//! let report = fuzz(&FuzzOptions { cases: 3, max_cmds: 12, ..FuzzOptions::default() });
+//! assert!(report.failure.is_none(), "pipeline conforms on a tiny budget");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conform;
+pub mod fuzz;
+pub mod gen;
+pub mod golden;
+
+pub use conform::check_run;
+pub use fuzz::{fuzz, FuzzFailure, FuzzOptions, FuzzReport};
+pub use gen::{cmd_strategy, cmds_strategy, concretize, Cmd};
+pub use golden::{GoldenConfig, GoldenError, GoldenRun};

@@ -1,0 +1,32 @@
+//! Round-trip properties over the fuzzer's program generator.
+//!
+//! The generator is reused as a property-test strategy: every program it
+//! can produce must survive `decode(encode(inst))` at the instruction
+//! level and `assemble(listing_annotated(p))` at the program level.
+
+use ede_check::gen::{cmds_strategy, concretize};
+use ede_isa::asm::{assemble, listing_annotated};
+use ede_isa::encode::{decode, encode, StaticInst};
+use ede_util::{prop_assert_eq, property};
+
+property! {
+    /// Machine-code round trip: encoding any generated instruction and
+    /// decoding it back recovers the same static (trace-free) form.
+    fn encode_decode_round_trips(cmds in cmds_strategy(40)) {
+        let program = concretize(&cmds);
+        for (_id, inst) in program.iter() {
+            let back = decode(encode(inst)).expect("generated instruction must decode");
+            prop_assert_eq!(back, StaticInst::of(inst));
+        }
+    }
+
+    /// Assembly round trip: the annotated listing of any generated
+    /// program assembles back to an identical program, trace values
+    /// included.
+    fn listing_reassembles_identically(cmds in cmds_strategy(40)) {
+        let program = concretize(&cmds);
+        let text = listing_annotated(&program);
+        let back = assemble(&text).expect("annotated listing must assemble");
+        prop_assert_eq!(back, program);
+    }
+}

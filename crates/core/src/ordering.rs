@@ -41,6 +41,13 @@ pub enum ViolationKind {
     Execution,
     /// A `DSB SY` ordering (older instruction vs. younger instruction).
     FullFence,
+    /// A `DMB ST` ordering (older store visible vs. younger store
+    /// visible). `DC CVAP` persists are deliberately *not* covered —
+    /// that is exactly the unsafety of the SU configuration.
+    StoreFence,
+    /// A `DMB SY` ordering (older memory access complete vs. younger
+    /// memory access effect).
+    MemFence,
 }
 
 /// Computes the execution dependences a trace encodes, in architectural
@@ -177,6 +184,88 @@ pub fn check_full_fences(program: &Program, times: &[InstTiming]) -> Vec<Violati
     violations
 }
 
+/// Checks `DMB ST` semantics: no *store* younger than the barrier may
+/// become globally visible before every older store has. Only
+/// [`InstKind::Store`] instructions participate on either side: loads are
+/// unordered by `DMB ST`, and `DC CVAP` persists deliberately escape it
+/// (the SU configuration's documented unsafety), so a checker that
+/// included writebacks would reject architecturally-correct SU runs.
+///
+/// # Panics
+///
+/// Panics if `times` is shorter than the program.
+pub fn check_store_fences(program: &Program, times: &[InstTiming]) -> Vec<Violation> {
+    assert!(times.len() >= program.len(), "missing timing entries");
+    windowed_fence_check(program, times, InstKind::FenceStore, |kind| {
+        kind == InstKind::Store
+    })
+}
+
+/// Checks `DMB SY` semantics: no memory operation (load, store, or
+/// writeback) younger than the barrier may have an effect before every
+/// older *load and store* completed. Writebacks are held on the younger
+/// side (they are memory operations and issue behind the barrier) but not
+/// required on the older side: `DMB SY` orders accesses, and requiring
+/// persist completion would make it as strong as `DSB SY`.
+///
+/// # Panics
+///
+/// Panics if `times` is shorter than the program.
+pub fn check_mem_fences(program: &Program, times: &[InstTiming]) -> Vec<Violation> {
+    assert!(times.len() >= program.len(), "missing timing entries");
+    windowed_fence_check(program, times, InstKind::FenceMem, |kind| {
+        matches!(kind, InstKind::Load | InstKind::Store)
+    })
+}
+
+/// Shared engine for the windowed `DMB` checks: for every fence of
+/// `fence_kind`, the completion high-water mark of older instructions
+/// selected by `orders_older` must not exceed the effect time of any
+/// younger instruction the fence holds back.
+fn windowed_fence_check(
+    program: &Program,
+    times: &[InstTiming],
+    fence_kind: InstKind,
+    orders_older: impl Fn(InstKind) -> bool,
+) -> Vec<Violation> {
+    // Which younger instructions a fence holds back mirrors the pipeline
+    // model: DMB ST is an LSQ barrier for stores; DMB SY holds every
+    // memory operation at issue.
+    let held_younger = |kind: InstKind| match fence_kind {
+        InstKind::FenceStore => kind == InstKind::Store,
+        _ => matches!(kind, InstKind::Load | InstKind::Store | InstKind::Writeback),
+    };
+    let mut violations = Vec::new();
+    let mut max_complete_before: u64 = 0;
+    let mut pending: Vec<(InstId, u64)> = Vec::new(); // (fence, required floor)
+    for (id, inst) in program.iter() {
+        let kind = inst.kind();
+        if kind == fence_kind {
+            pending.push((id, max_complete_before));
+        } else {
+            let t = times[id.index()];
+            if held_younger(kind) {
+                for &(fence, floor) in &pending {
+                    if t.effect < floor {
+                        violations.push(Violation {
+                            producer: fence,
+                            consumer: id,
+                            kind: match fence_kind {
+                                InstKind::FenceStore => ViolationKind::StoreFence,
+                                _ => ViolationKind::MemFence,
+                            },
+                        });
+                    }
+                }
+            }
+            if orders_older(kind) {
+                max_complete_before = max_complete_before.max(t.complete);
+            }
+        }
+    }
+    violations
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,6 +374,80 @@ mod tests {
             };
         }
         assert!(check_full_fences(&p, &times).is_empty());
+    }
+
+    #[test]
+    fn dmb_st_orders_stores_but_not_persists() {
+        let mut b = TraceBuilder::new();
+        b.store(0x40, 1); // ids 0,1,2 (lea,mov,str)
+        b.dmb_st(); // id 3
+        b.store(0x80, 2); // ids 4,5,6
+        b.cvap_producing(0xc0, k(1)); // ids 7,8 (lea,cvap)
+        let p = b.finish();
+        let mut times = vec![InstTiming::default(); p.len()];
+        // Older store becomes visible (completes) at 100.
+        times[2] = InstTiming {
+            effect: 20,
+            complete: 100,
+        };
+        // Younger store visible at 50: a DMB ST violation.
+        times[6] = InstTiming {
+            effect: 50,
+            complete: 60,
+        };
+        // Writeback effect before the floor must NOT be flagged: DMB ST
+        // deliberately leaves persists unordered (the SU gap).
+        times[8] = InstTiming {
+            effect: 10,
+            complete: 30,
+        };
+        let v = check_store_fences(&p, &times);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::StoreFence);
+        assert_eq!(v[0].producer, InstId(3));
+        assert_eq!(v[0].consumer, InstId(6));
+
+        // Younger store at/after the floor: clean.
+        times[6] = InstTiming {
+            effect: 100,
+            complete: 110,
+        };
+        assert!(check_store_fences(&p, &times).is_empty());
+    }
+
+    #[test]
+    fn dmb_sy_orders_loads_stores_and_holds_writebacks() {
+        let mut b = TraceBuilder::new();
+        b.load(0x40, 7); // ids 0,1 (lea,ldr)
+        b.dmb_sy(); // id 2
+        b.store(0x80, 2); // ids 3,4,5
+        b.cvap_producing(0xc0, k(1)); // ids 6,7
+        let p = b.finish();
+        let mut times = vec![InstTiming::default(); p.len()];
+        // Older load completes at 100.
+        times[1] = InstTiming {
+            effect: 90,
+            complete: 100,
+        };
+        // Younger store and writeback both take effect early.
+        times[5] = InstTiming {
+            effect: 50,
+            complete: 60,
+        };
+        times[7] = InstTiming {
+            effect: 40,
+            complete: 80,
+        };
+        let v = check_mem_fences(&p, &times);
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|x| x.kind == ViolationKind::MemFence));
+        assert!(v.iter().any(|x| x.consumer == InstId(5)));
+        assert!(v.iter().any(|x| x.consumer == InstId(7)));
+
+        // Both at/after the floor: clean.
+        times[5].effect = 100;
+        times[7].effect = 100;
+        assert!(check_mem_fences(&p, &times).is_empty());
     }
 
     #[test]

@@ -2,6 +2,26 @@
 
 use ede_core::EnforcementPoint;
 
+/// Deliberate pipeline bugs for exercising the conformance checker.
+///
+/// The differential fuzzer in `ede-check` needs a way to prove it can
+/// catch a broken pipeline, not just bless a correct one. Each variant
+/// disables one enforcement mechanism; the resulting violations must be
+/// detected by the ordering axioms and shrunk to a minimal reproducer.
+/// Never set in real experiments.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultInjection {
+    /// Drop EDE execution dependences entirely: decode still consults the
+    /// EDM, but consumers are never registered against their producers
+    /// (no issue-queue blocking, no write-buffer source tags, no
+    /// `WAIT_KEY`/`WAIT_ALL_KEYS` blocking).
+    DropEdeps,
+    /// Weaken `DSB SY` to retire without waiting for older instructions
+    /// to complete — younger memory operations can then take effect
+    /// before older persists finish.
+    WeakDsb,
+}
+
 /// Out-of-order core parameters.
 ///
 /// [`CpuConfig::a72`] reproduces Table I's A72-like core: 3-wide decode at
@@ -53,6 +73,9 @@ pub struct CpuConfig {
     /// directly. Both produce identical timing (an equivalence the test
     /// suite asserts); they differ in hardware cost.
     pub edm_branch_checkpoints: bool,
+    /// Deliberate pipeline bug for conformance-checker self-tests; `None`
+    /// (always, outside `ede-check`) models the hardware faithfully.
+    pub fault: Option<FaultInjection>,
 }
 
 impl CpuConfig {
@@ -72,6 +95,7 @@ impl CpuConfig {
             mispredict_penalty: 15,
             enforcement: None,
             edm_branch_checkpoints: false,
+            fault: None,
         }
     }
 

@@ -1,6 +1,6 @@
 //! The out-of-order pipeline.
 
-use crate::config::CpuConfig;
+use crate::config::{CpuConfig, FaultInjection};
 use crate::port::MemPort;
 use crate::ptrace::{PipeEvent, PipeObserver, PipeStage};
 use crate::stats::IssueHistogram;
@@ -485,6 +485,7 @@ impl<M: MemPort> Core<M> {
 
     fn retire_stage(&mut self) {
         let wb_mode = self.cfg.enforcement == Some(EnforcementPoint::WriteBuffer);
+        let drop_edeps = self.cfg.fault == Some(FaultInjection::DropEdeps);
         for _ in 0..self.cfg.retire_width {
             let Some(&id) = self.rob.front() else {
                 break;
@@ -498,7 +499,11 @@ impl<M: MemPort> Core<M> {
                 Op::DsbSy => {
                     // All older instructions must have completed,
                     // including store drains and persist acks.
-                    if self.incomplete.range(..id).next().is_some() {
+                    // (WeakDsb fault: retire without waiting — the
+                    // conformance checker must flag the resulting runs.)
+                    if self.cfg.fault != Some(FaultInjection::WeakDsb)
+                        && self.incomplete.range(..id).next().is_some()
+                    {
                         break;
                     }
                     self.rob.pop_front();
@@ -509,7 +514,7 @@ impl<M: MemPort> Core<M> {
                     }
                 }
                 Op::WaitKey { key } if wb_mode => {
-                    if self.tracker.has_producer_before(key, id) {
+                    if !drop_edeps && self.tracker.has_producer_before(key, id) {
                         break;
                     }
                     self.rob.pop_front();
@@ -517,7 +522,7 @@ impl<M: MemPort> Core<M> {
                     self.complete_inst(id);
                 }
                 Op::WaitAllKeys if wb_mode => {
-                    if self.tracker.has_any_before(id) {
+                    if !drop_edeps && self.tracker.has_any_before(id) {
                         break;
                     }
                     self.rob.pop_front();
@@ -694,6 +699,7 @@ impl<M: MemPort> Core<M> {
         }
         let inst = self.inst(id).clone();
         let kind = inst.kind();
+        let drop_edeps = self.cfg.fault == Some(FaultInjection::DropEdeps);
 
         // DMB SY: younger memory operations wait at issue.
         if Self::is_mem_op(kind) && self.live_dmbs.range(..id).next().is_some() {
@@ -777,13 +783,13 @@ impl<M: MemPort> Core<M> {
                 self.execute_simple(id)
             }
             Op::WaitKey { key } => {
-                if iq_mode && self.tracker.has_producer_before(key, id) {
+                if iq_mode && !drop_edeps && self.tracker.has_producer_before(key, id) {
                     return false;
                 }
                 self.execute_simple(id)
             }
             Op::WaitAllKeys => {
-                if iq_mode && self.tracker.has_any_before(id) {
+                if iq_mode && !drop_edeps && self.tracker.has_any_before(id) {
                     return false;
                 }
                 self.execute_simple(id)
@@ -893,6 +899,11 @@ impl<M: MemPort> Core<M> {
                         srcs.push(w);
                     }
                 }
+            }
+            // Fault injection: a pipeline that decoded the keys but then
+            // forgot to register the dependences.
+            if self.cfg.fault == Some(FaultInjection::DropEdeps) {
+                srcs.clear();
             }
             {
                 let slot = &mut self.slots[id.index()];

@@ -54,6 +54,6 @@ pub mod stats;
 pub mod wb;
 
 pub use crate::core::{Core, CoreError, RunStats};
-pub use config::CpuConfig;
+pub use config::{CpuConfig, FaultInjection};
 pub use port::{FixedLatencyMem, MemPort};
 pub use stats::IssueHistogram;

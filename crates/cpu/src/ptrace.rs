@@ -97,6 +97,27 @@ impl PipeRecorder {
         self.events.iter().copied().filter(|e| e.id == id).collect()
     }
 
+    /// Events of one stage, in emission order.
+    pub fn stage_events(&self, stage: PipeStage) -> Vec<PipeEvent> {
+        self.events
+            .iter()
+            .copied()
+            .filter(|e| e.stage == stage)
+            .collect()
+    }
+
+    /// Instruction ids in the order they retired. Retirement is unique
+    /// per instruction (squash precedes retire), so this is the committed
+    /// architectural order — the conformance checker asserts it matches
+    /// program order.
+    pub fn retire_order(&self) -> Vec<InstId> {
+        self.events
+            .iter()
+            .filter(|e| e.stage == PipeStage::Retire)
+            .map(|e| e.id)
+            .collect()
+    }
+
     /// Checks the fundamental pipeline invariant: within each
     /// instruction's final (post-squash) incarnation, stages occur at
     /// nondecreasing cycles in the order `Dispatch ≤ Issue ≤ Executed ≤
@@ -282,5 +303,15 @@ mod tests {
     #[test]
     fn display_names() {
         assert_eq!(PipeStage::Drain.to_string(), "drain");
+    }
+
+    #[test]
+    fn retire_order_and_stage_events() {
+        let mut rec = PipeRecorder::new();
+        rec.push(PipeEvent { cycle: 1, id: InstId(0), stage: PipeStage::Dispatch });
+        rec.push(PipeEvent { cycle: 2, id: InstId(1), stage: PipeStage::Retire });
+        rec.push(PipeEvent { cycle: 3, id: InstId(0), stage: PipeStage::Retire });
+        assert_eq!(rec.retire_order(), vec![InstId(1), InstId(0)]);
+        assert_eq!(rec.stage_events(PipeStage::Dispatch).len(), 1);
     }
 }

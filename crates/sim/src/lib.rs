@@ -31,7 +31,7 @@ pub mod runner;
 
 pub use config::SimConfig;
 pub use experiment::{fig10, fig11, fig9, fig9_seeds, ExperimentConfig, Fig10, Fig11, Fig9, Fig9Seeds};
-pub use runner::{run_workload, RunResult};
+pub use runner::{raw_output, run_program, run_program_traced, run_workload, RunResult};
 
 /// Geometric mean of strictly positive values; 0 for an empty slice.
 ///

@@ -3,11 +3,14 @@
 use crate::config::SimConfig;
 use ede_core::ordering::{check_execution_deps, InstTiming, Violation};
 use ede_cpu::core::StallStats;
+use ede_cpu::ptrace::{PipeObserver, PipeRecorder};
 use ede_cpu::{Core, CoreError, IssueHistogram};
 use ede_isa::{ArchConfig, InstId, Program};
 use ede_mem::{MemStats, MemSystem, PersistTrace};
 use ede_nvm::{check_crash_consistency, ConsistencyError, TxOutput};
 use ede_workloads::{Workload, WorkloadParams};
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// Everything one simulation produced.
 #[derive(Clone, Debug)]
@@ -117,8 +120,49 @@ pub fn run_program(
     arch: ArchConfig,
     sim: &SimConfig,
 ) -> Result<RunResult, CoreError> {
+    run_program_inner(name, output, arch, sim, None)
+}
+
+/// Simulates a program with pipeline-event tracing attached: the returned
+/// [`PipeRecorder`] holds every dispatch/issue/retire/drain/complete
+/// transition. This is the conformance checker's window into the
+/// pipeline's committed order (`ede-check` uses it to cross-check retire
+/// order and stage monotonicity against the persist trace).
+///
+/// # Errors
+///
+/// [`CoreError::CycleLimit`] if the run exceeds `sim.max_cycles`.
+pub fn run_program_traced(
+    name: &str,
+    output: TxOutput,
+    arch: ArchConfig,
+    sim: &SimConfig,
+) -> Result<(RunResult, PipeRecorder), CoreError> {
+    let rec = Rc::new(RefCell::new(PipeRecorder::new()));
+    let sink = Rc::clone(&rec);
+    let observer: PipeObserver = Box::new(move |ev| sink.borrow_mut().push(ev));
+    let result = run_program_inner(name, output, arch, sim, Some(observer))?;
+    // The core (and with it the observer closure) is dropped inside
+    // `run_program_inner`, so ours is the only strong reference left.
+    let rec = Rc::try_unwrap(rec)
+        .ok()
+        .expect("observer closure outlived the core")
+        .into_inner();
+    Ok((result, rec))
+}
+
+fn run_program_inner(
+    name: &str,
+    output: TxOutput,
+    arch: ArchConfig,
+    sim: &SimConfig,
+    observer: Option<PipeObserver>,
+) -> Result<RunResult, CoreError> {
     let mem = MemSystem::new(sim.mem.clone());
     let mut core = Core::new(sim.cpu_for(arch), output.program.clone(), mem);
+    if let Some(obs) = observer {
+        core.set_observer(obs);
+    }
     let stats = core.run(sim.max_cycles)?;
     let mut mem = core.into_mem();
     // Drain in-flight media writes so the persist trace and the buffer
@@ -222,5 +266,24 @@ mod tests {
         let r = run_program("raw", raw_output(b.finish()), ArchConfig::Baseline, &SimConfig::a72())
             .unwrap();
         assert_eq!(r.retired, 6);
+    }
+
+    #[test]
+    fn traced_run_records_in_order_retirement() {
+        let mut b = ede_isa::TraceBuilder::new();
+        b.store(0x1_0000_0000, 1);
+        b.cvap(0x1_0000_0000);
+        b.dsb_sy();
+        let (r, rec) = run_program_traced(
+            "raw",
+            raw_output(b.finish()),
+            ArchConfig::WriteBuffer,
+            &SimConfig::a72(),
+        )
+        .unwrap();
+        rec.check_stage_order().expect("stage order holds");
+        let retired = rec.retire_order();
+        assert_eq!(retired.len() as u64, r.retired);
+        assert!(retired.windows(2).all(|w| w[0] < w[1]));
     }
 }

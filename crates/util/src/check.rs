@@ -640,6 +640,57 @@ where
     (best.value, msg, steps)
 }
 
+/// Greedily minimizes a failing [`Shrinkable`]: repeatedly descends to the
+/// first shrink candidate for which `still_fails` returns `true`, bounded
+/// by `max_iters` predicate evaluations. Returns the smallest value found
+/// and the number of successful shrink steps taken.
+///
+/// This is the shrinking engine of [`run`] exposed for external drivers —
+/// fuzzers that detect failure by comparing whole simulations rather than
+/// by panicking inside a property body (e.g. `ede-check`'s differential
+/// fuzzer, which replays the candidate program on two models).
+///
+/// # Example
+///
+/// ```
+/// use ede_util::check::{self, Strategy};
+/// use ede_util::rng::SmallRng;
+///
+/// let mut rng = SmallRng::seed_from_u64(7);
+/// let strat = check::vec(check::any::<u8>(), 0..20);
+/// // Find an input that "fails" (has at least 3 elements)…
+/// let sh = std::iter::repeat_with(|| strat.generate(&mut rng))
+///     .find(|sh| sh.value.len() >= 3)
+///     .unwrap();
+/// // …and shrink it: the minimal failing input is any 3-element vector.
+/// let (minimal, _steps) = check::minimize(sh, 10_000, |v| v.len() >= 3);
+/// assert_eq!(minimal.len(), 3);
+/// ```
+pub fn minimize<T: Clone + 'static>(
+    failing: Shrinkable<T>,
+    max_iters: u32,
+    still_fails: impl Fn(&T) -> bool,
+) -> (T, u32) {
+    let mut best = failing;
+    let mut iters = 0u32;
+    let mut steps = 0u32;
+    'outer: loop {
+        for cand in best.shrinks() {
+            if iters >= max_iters {
+                break 'outer;
+            }
+            iters += 1;
+            if still_fails(&cand.value) {
+                best = cand;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (best.value, steps)
+}
+
 // ---------------------------------------------------------------------
 // Macros
 // ---------------------------------------------------------------------
@@ -824,6 +875,34 @@ mod tests {
                 assert!(sh.value.len() >= 2);
             }
         }
+    }
+
+    #[test]
+    fn minimize_reaches_smallest_failing_vec() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let strat = vec(0u8..10, 0..32);
+        // Find a generated input that "fails" (here: length ≥ 4), then
+        // check the external driver shrinks it to exactly the boundary.
+        let sh = loop {
+            let sh = strat.generate(&mut rng);
+            if sh.value.len() >= 4 {
+                break sh;
+            }
+        };
+        let (minimal, steps) = minimize(sh, 4096, |v| v.len() >= 4);
+        assert_eq!(minimal.len(), 4);
+        assert!(minimal.iter().all(|&x| x == 0), "elements shrink to zero");
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn minimize_respects_iteration_budget() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let sh = vec(0u8..10, 8..32).generate(&mut rng);
+        let original = sh.value.clone();
+        let (minimal, steps) = minimize(sh, 0, |v| v.len() >= 4);
+        assert_eq!(minimal, original, "zero budget leaves the input as-is");
+        assert_eq!(steps, 0);
     }
 
     #[test]

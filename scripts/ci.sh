@@ -24,4 +24,12 @@ else
     echo "==> clippy not installed; skipping lint"
 fi
 
+# Conformance fuzz smoke: a fixed-seed differential run of the pipeline
+# against the golden in-order model on every crash-safe configuration.
+# Small enough for every push; the nightly job runs the same command with
+# a much larger budget (see .github/workflows/ci.yml).
+echo "==> fuzz smoke (seed 0, 200 cases)"
+cargo run --release --offline -q -p ede-check --bin ede-sim -- \
+    fuzz --seed 0 --cases 200
+
 echo "==> OK"
