@@ -10,13 +10,16 @@ use ede_util::bench::Criterion;
 use ede_util::{criterion_group, criterion_main};
 
 /// One fuzz batch; panics if a case fails so a real conformance bug can
-/// never hide inside a timing report.
+/// never hide inside a timing report. Sequential (`jobs: 1`): this bench
+/// measures the differential loop itself, not the thread pool — the
+/// `speedup` binary owns the parallel measurement.
 fn run_batch(seed: u64, cases: u32, archs: Vec<ArchConfig>) {
     let report = fuzz(&FuzzOptions {
         seed,
         cases,
         max_cmds: 30,
         archs,
+        jobs: 1,
         ..FuzzOptions::default()
     });
     assert!(report.failure.is_none(), "{:?}", report.failure);

@@ -1,0 +1,77 @@
+//! `speedup` — measures the wall-clock effect of the `ede_util::pool`
+//! parallel fan-out on a fuzz campaign and records it as
+//! `BENCH_parallel.json`.
+//!
+//! ```text
+//! speedup [OUTPUT.json]          # default: BENCH_parallel.json
+//! ```
+//!
+//! Runs the same fixed-seed conformance-fuzz campaign twice — once with
+//! `jobs = 1` (sequential) and once with `jobs = 0` (auto, all host
+//! cores) — and writes both measurements plus their ratio. The campaign
+//! is asserted clean, so a conformance regression can never hide inside
+//! a timing artifact, and the *report* is bit-identical between the two
+//! runs by the pool's determinism contract (only the wall-clock moves).
+//!
+//! Knobs: `EDE_FUZZ_CASES` (default 1000 cases), `EDE_BENCH_SAMPLES`
+//! (default 3 samples per configuration). `host_parallelism` is recorded
+//! so a reader can judge the ratio in context — on a 1-core host the
+//! honest expectation is ~1.0.
+
+use ede_check::fuzz::{fuzz, FuzzOptions};
+use ede_util::bench::{Criterion, Measurement};
+use std::time::Duration;
+
+fn campaign(jobs: usize, cases: u32) {
+    let report = fuzz(&FuzzOptions {
+        seed: 42,
+        cases,
+        max_cmds: 30,
+        jobs,
+        ..FuzzOptions::default()
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert_eq!(report.cases_run, cases);
+}
+
+fn stats_json(m: &Measurement) -> String {
+    format!(
+        "{{ \"mean_ns\": {:.0}, \"min_ns\": {:.0}, \"max_ns\": {:.0}, \
+         \"samples\": {}, \"iters\": {} }}",
+        m.mean_ns, m.min_ns, m.max_ns, m.samples, m.iters
+    )
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_parallel.json".to_string());
+    let cases: u32 = std::env::var("EDE_FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000);
+    let host = std::thread::available_parallelism().map_or(1, usize::from);
+    let jobs_parallel = ede_util::pool::resolve_jobs(0);
+
+    let mut c = Criterion::default()
+        .warm_up_time(Duration::from_millis(1))
+        .measurement_time(Duration::from_millis(1))
+        .sample_size(3);
+    eprintln!("speedup: {cases}-case fuzz campaign, host parallelism {host}");
+    let sequential = c.bench_measured("fuzz-campaign/jobs-1", |b| b.iter(|| campaign(1, cases)));
+    let parallel = c.bench_measured(format!("fuzz-campaign/jobs-{jobs_parallel}"), |b| {
+        b.iter(|| campaign(0, cases))
+    });
+
+    let speedup = sequential.mean_ns / parallel.mean_ns;
+    let json = format!(
+        "{{\n  \"bench\": \"fuzz-campaign\",\n  \"seed\": 42,\n  \
+         \"cases\": {cases},\n  \"max_cmds\": 30,\n  \
+         \"host_parallelism\": {host},\n  \"jobs_parallel\": {jobs_parallel},\n  \
+         \"sequential\": {},\n  \"parallel\": {},\n  \"speedup\": {speedup:.3}\n}}\n",
+        stats_json(&sequential),
+        stats_json(&parallel),
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark artifact");
+    println!("speedup: {speedup:.3}x with {jobs_parallel} worker(s) -> {out_path}");
+}

@@ -18,6 +18,8 @@
 //! | `EDE_SEED`    | 42      | workload RNG seed                       |
 //! | `EDE_SEEDS`   | 1       | `fig9`: seeds for the mean ± stdev line |
 //! | `EDE_JSON`    | unset   | `fig9/10/11`: emit JSON instead of text |
+//! | `EDE_JOBS`    | 0       | sweep worker threads (0 = host count);  |
+//! |               |         | output is identical for every value     |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -53,6 +55,7 @@ pub fn experiment_from_env() -> ExperimentConfig {
             ..WorkloadParams::default()
         },
         sim: SimConfig::a72(),
+        jobs: env_u64("EDE_JOBS", 0) as usize,
     }
 }
 
@@ -69,6 +72,9 @@ pub fn bench_experiment() -> ExperimentConfig {
             ..WorkloadParams::default()
         },
         sim: SimConfig::a72(),
+        // Criterion timings must measure the simulator, not the pool, so
+        // the benches default to sequential unless EDE_JOBS says otherwise.
+        jobs: env_u64("EDE_JOBS", 1) as usize,
     }
 }
 

@@ -3,12 +3,18 @@
 //! ```text
 //! ede-sim fuzz [--seed N] [--cases N] [--max-cmds N] [--arch B,IQ,WB]
 //!              [--fault drop-edeps|weak-dsb] [--shrink-iters N]
+//!              [--jobs N] [--progress N]
 //! ```
 //!
 //! Runs the differential fuzzer: seeded random programs through the
 //! cycle-level pipeline on each architecture, conformance-checked against
 //! the golden in-order model. Exit status: 0 when every case conforms,
 //! 2 when a (shrunk) counterexample was found, 1 on usage errors.
+//!
+//! `--jobs` selects worker threads (0 = auto via `EDE_JOBS` or the host
+//! parallelism). stdout is byte-identical for every job count; worker
+//! progress (`--progress N` = report every N cases, 0 = silent) goes to
+//! stderr only.
 
 use ede_check::fuzz::{fuzz, FuzzOptions};
 use ede_cpu::FaultInjection;
@@ -18,7 +24,8 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: ede-sim fuzz [--seed N] [--cases N] [--max-cmds N] \
-         [--arch B,IQ,WB] [--fault drop-edeps|weak-dsb] [--shrink-iters N]"
+         [--arch B,IQ,WB] [--fault drop-edeps|weak-dsb] [--shrink-iters N] \
+         [--jobs N] [--progress N]"
     );
     ExitCode::from(1)
 }
@@ -34,7 +41,13 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) != Some("fuzz") {
         return usage();
     }
-    let mut opts = FuzzOptions::default();
+    let mut opts = FuzzOptions {
+        // Interactive/CI sessions get a liveness signal on long runs by
+        // default; `--progress 0` silences it. Library callers default
+        // to silent (`FuzzOptions::default`).
+        progress_every: 5000,
+        ..FuzzOptions::default()
+    };
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
         let Some(value) = it.next() else {
@@ -45,6 +58,8 @@ fn main() -> ExitCode {
             "--cases" => value.parse().map(|v| opts.cases = v).is_ok(),
             "--max-cmds" => value.parse().map(|v| opts.max_cmds = v).is_ok(),
             "--shrink-iters" => value.parse().map(|v| opts.max_shrink_iters = v).is_ok(),
+            "--jobs" => value.parse().map(|v| opts.jobs = v).is_ok(),
+            "--progress" => value.parse().map(|v| opts.progress_every = v).is_ok(),
             "--arch" => match parse_archs(value) {
                 Some(archs) => {
                     opts.archs = archs;
@@ -81,6 +96,12 @@ fn main() -> ExitCode {
             Some(f) => format!(", injected fault {f:?}"),
             None => String::new(),
         },
+    );
+    // Worker-count info goes to stderr: stdout must stay byte-identical
+    // across --jobs values (CI diffs it).
+    eprintln!(
+        "fuzz: {} worker(s)",
+        ede_util::pool::Pool::new(opts.jobs).jobs()
     );
     let report = fuzz(&opts);
     match report.failure {

@@ -18,7 +18,9 @@ use ede_cpu::FaultInjection;
 use ede_isa::{ArchConfig, Program};
 use ede_sim::{raw_output, run_program_traced, SimConfig};
 use ede_util::check::{minimize, Strategy};
+use ede_util::pool::Pool;
 use ede_util::rng::{mix64, SmallRng, SplitMix64};
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Fuzzing parameters.
 #[derive(Clone, Debug)]
@@ -35,6 +37,16 @@ pub struct FuzzOptions {
     pub fault: Option<FaultInjection>,
     /// Shrink budget: maximum candidate re-simulations.
     pub max_shrink_iters: u32,
+    /// Worker threads scanning the case range: 0 = auto (`EDE_JOBS` or
+    /// the host parallelism), 1 = sequential. The report is bit-identical
+    /// for every value — the case range is partitioned into contiguous
+    /// chunks whose seed streams are `SplitMix64::jump`s of the same
+    /// master stream, and the *earliest* failing case always wins.
+    pub jobs: usize,
+    /// Emit a per-worker progress line on stderr every this many cases
+    /// (0 = silent). stdout is untouched, so parallel and sequential
+    /// sessions stay byte-comparable.
+    pub progress_every: u32,
 }
 
 impl Default for FuzzOptions {
@@ -50,12 +62,14 @@ impl Default for FuzzOptions {
             archs: vec![ArchConfig::Baseline, ArchConfig::IssueQueue, ArchConfig::WriteBuffer],
             fault: None,
             max_shrink_iters: 4096,
+            jobs: 0,
+            progress_every: 0,
         }
     }
 }
 
 /// A conformance failure, shrunk to a minimal reproducer.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct FuzzFailure {
     /// Which case (0-based) failed.
     pub case: u32,
@@ -74,7 +88,7 @@ pub struct FuzzFailure {
 }
 
 /// Outcome of a fuzzing session.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct FuzzReport {
     /// Cases executed (equals the budget unless a failure stopped it).
     pub cases_run: u32,
@@ -109,43 +123,103 @@ pub fn diff_case(cmds: &[Cmd], arch: ArchConfig, fault: Option<FaultInjection>) 
     }
 }
 
-/// Runs the differential fuzzer. Deterministic in `opts`.
-pub fn fuzz(opts: &FuzzOptions) -> FuzzReport {
+/// Formats one per-worker progress report. Kept as a plain function so
+/// the CLI tests can pin the exact shape the fuzzer emits on stderr.
+pub fn progress_line(worker: usize, done: u32, total: u32, violations: u32) -> String {
+    format!("fuzz: worker {worker}: {done}/{total} cases, {violations} violations")
+}
+
+/// Regenerates a known-failing case from its index and shrinks it —
+/// always on the caller's thread, so the shrink path (and therefore the
+/// reported reproducer) is identical however the failure was found.
+fn case_failure(opts: &FuzzOptions, case: u32) -> FuzzFailure {
+    let mut seeds = SplitMix64::new(mix64(opts.seed));
+    seeds.jump(u64::from(case));
+    let case_seed = seeds.next_u64();
     let strat = cmds_strategy(opts.max_cmds);
-    let mut case_seeds = SplitMix64::new(mix64(opts.seed));
-    for case in 0..opts.cases {
-        let case_seed = case_seeds.next_u64();
-        let mut rng = SmallRng::seed_from_u64(case_seed);
-        let sh = strat.generate(&mut rng);
-        let failing_arch = opts
-            .archs
-            .iter()
-            .copied()
-            .find(|&arch| !diff_case(&sh.value, arch, opts.fault).is_empty());
-        if let Some(arch) = failing_arch {
-            let fault = opts.fault;
-            let (cmds, shrink_steps) = minimize(sh, opts.max_shrink_iters, |cmds| {
-                !diff_case(cmds, arch, fault).is_empty()
-            });
-            let diffs = diff_case(&cmds, arch, fault);
-            let program = concretize(&cmds);
-            return FuzzReport {
-                cases_run: case + 1,
-                failure: Some(FuzzFailure {
-                    case,
-                    case_seed,
-                    arch,
-                    cmds,
-                    program,
-                    diffs,
-                    shrink_steps,
-                }),
-            };
-        }
+    let mut rng = SmallRng::seed_from_u64(case_seed);
+    let sh = strat.generate(&mut rng);
+    let arch = opts
+        .archs
+        .iter()
+        .copied()
+        .find(|&arch| !diff_case(&sh.value, arch, opts.fault).is_empty())
+        .expect("the recorded case must still fail on regeneration");
+    let fault = opts.fault;
+    let (cmds, shrink_steps) = minimize(sh, opts.max_shrink_iters, |cmds| {
+        !diff_case(cmds, arch, fault).is_empty()
+    });
+    let diffs = diff_case(&cmds, arch, fault);
+    let program = concretize(&cmds);
+    FuzzFailure {
+        case,
+        case_seed,
+        arch,
+        cmds,
+        program,
+        diffs,
+        shrink_steps,
     }
-    FuzzReport {
-        cases_run: opts.cases,
-        failure: None,
+}
+
+/// Runs the differential fuzzer. Deterministic in `opts` — including
+/// `jobs`: the scan fans the case range out across workers, but the
+/// earliest failing case index decides the verdict, and its reproducer
+/// is regenerated and shrunk sequentially, so every job count yields the
+/// same [`FuzzReport`] bit for bit.
+pub fn fuzz(opts: &FuzzOptions) -> FuzzReport {
+    let pool = Pool::new(opts.jobs);
+    let workers = pool.jobs().min(opts.cases.max(1) as usize).max(1);
+    let chunk = opts.cases.div_ceil(workers as u32);
+    // Earliest failing case across all workers; u32::MAX = none yet.
+    // Workers past this index stop scanning — their cases could not
+    // change the verdict.
+    let earliest = AtomicU32::new(u32::MAX);
+    pool.run(workers, |w| {
+        let lo = w as u32 * chunk;
+        let hi = (lo + chunk).min(opts.cases);
+        let total = hi.saturating_sub(lo);
+        // This worker's seed stream is the master stream fast-forwarded
+        // to its chunk — the same seeds a sequential scan would draw.
+        let mut seeds = SplitMix64::new(mix64(opts.seed));
+        seeds.jump(u64::from(lo));
+        let strat = cmds_strategy(opts.max_cmds);
+        let mut done = 0u32;
+        let mut violations = 0u32;
+        for case in lo..hi {
+            if earliest.load(Ordering::Relaxed) <= case {
+                break;
+            }
+            let case_seed = seeds.next_u64();
+            let mut rng = SmallRng::seed_from_u64(case_seed);
+            let sh = strat.generate(&mut rng);
+            let failed = opts
+                .archs
+                .iter()
+                .any(|&arch| !diff_case(&sh.value, arch, opts.fault).is_empty());
+            done += 1;
+            if failed {
+                violations += 1;
+                earliest.fetch_min(case, Ordering::Relaxed);
+                break;
+            }
+            if opts.progress_every > 0 && done.is_multiple_of(opts.progress_every) {
+                eprintln!("{}", progress_line(w, done, total, violations));
+            }
+        }
+        if opts.progress_every > 0 {
+            eprintln!("{}", progress_line(w, done, total, violations));
+        }
+    });
+    match earliest.into_inner() {
+        u32::MAX => FuzzReport {
+            cases_run: opts.cases,
+            failure: None,
+        },
+        case => FuzzReport {
+            cases_run: case + 1,
+            failure: Some(case_failure(opts, case)),
+        },
     }
 }
 
@@ -162,6 +236,38 @@ mod tests {
         });
         assert_eq!(report.cases_run, 5);
         assert!(report.failure.is_none(), "{:?}", report.failure);
+    }
+
+    #[test]
+    fn progress_line_shape() {
+        assert_eq!(
+            progress_line(3, 250, 1000, 0),
+            "fuzz: worker 3: 250/1000 cases, 0 violations"
+        );
+        assert_eq!(
+            progress_line(0, 7, 7, 1),
+            "fuzz: worker 0: 7/7 cases, 1 violations"
+        );
+    }
+
+    #[test]
+    fn clean_report_is_identical_for_every_job_count() {
+        let base = fuzz(&FuzzOptions {
+            cases: 8,
+            max_cmds: 12,
+            jobs: 1,
+            ..FuzzOptions::default()
+        });
+        assert!(base.failure.is_none());
+        for jobs in [3, 8] {
+            let report = fuzz(&FuzzOptions {
+                cases: 8,
+                max_cmds: 12,
+                jobs,
+                ..FuzzOptions::default()
+            });
+            assert_eq!(report, base, "jobs {jobs}");
+        }
     }
 
     #[test]

@@ -1,0 +1,88 @@
+//! End-to-end regression tests for the `ede-sim` CLI: exit codes, the
+//! summary line shape, the progress-reporting format, and the contract
+//! that stdout is byte-identical for every `--jobs` value.
+
+use std::process::{Command, Output};
+
+fn ede_sim(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_ede-sim"))
+        .args(args)
+        .output()
+        .expect("spawn ede-sim")
+}
+
+#[test]
+fn fuzz_smoke_run_succeeds_with_jobs() {
+    let out = ede_sim(&[
+        "fuzz", "--seed", "0", "--cases", "50", "--max-cmds", "20", "--jobs", "4",
+    ]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let mut lines = stdout.lines();
+    let header = lines.next().expect("header line");
+    assert!(header.starts_with("fuzz: seed 0x0, 50 cases"), "header: {header}");
+    assert_eq!(
+        lines.next().expect("summary line"),
+        "ok: 50 cases, zero conformance diffs"
+    );
+    assert_eq!(lines.next(), None, "exactly two stdout lines");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("fuzz: 4 worker(s)"), "stderr: {stderr}");
+}
+
+#[test]
+fn progress_lines_go_to_stderr_in_the_documented_shape() {
+    let out = ede_sim(&[
+        "fuzz", "--seed", "0", "--cases", "40", "--max-cmds", "15", "--jobs", "2",
+        "--progress", "10",
+    ]);
+    assert!(out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    // Each worker scans 20 cases and reports at 10, 20, and completion.
+    for worker in 0..2 {
+        for done in [10, 20] {
+            let expected = format!("fuzz: worker {worker}: {done}/20 cases, 0 violations");
+            assert!(stderr.contains(&expected), "missing {expected:?} in:\n{stderr}");
+        }
+    }
+    // Progress never leaks onto stdout.
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(!stdout.contains("worker"), "stdout: {stdout}");
+}
+
+#[test]
+fn stdout_is_byte_identical_across_job_counts() {
+    let run = |jobs: &str| {
+        let out = ede_sim(&[
+            "fuzz", "--seed", "7", "--cases", "30", "--max-cmds", "20", "--jobs", jobs,
+        ]);
+        assert!(out.status.success(), "jobs {jobs}");
+        out.stdout
+    };
+    let sequential = run("1");
+    assert_eq!(run("3"), sequential);
+    assert_eq!(run("7"), sequential);
+}
+
+#[test]
+fn injected_fault_exits_2_with_identical_stdout_across_jobs() {
+    let run = |jobs: &str| {
+        let out = ede_sim(&[
+            "fuzz", "--seed", "0", "--cases", "40", "--fault", "drop-edeps", "--jobs", jobs,
+        ]);
+        assert_eq!(out.status.code(), Some(2), "jobs {jobs}");
+        out.stdout
+    };
+    let sequential = run("1");
+    let stdout = String::from_utf8(sequential.clone()).unwrap();
+    assert!(stdout.contains("FAILURE at case"), "stdout: {stdout}");
+    assert!(stdout.contains("replay: ede-sim fuzz"), "stdout: {stdout}");
+    assert_eq!(run("4"), sequential);
+}
+
+#[test]
+fn bad_usage_exits_1() {
+    assert_eq!(ede_sim(&["fuzz", "--jobs"]).status.code(), Some(1));
+    assert_eq!(ede_sim(&["fuzz", "--jobs", "x"]).status.code(), Some(1));
+    assert_eq!(ede_sim(&["frobnicate"]).status.code(), Some(1));
+}

@@ -15,6 +15,12 @@ pub struct ExperimentConfig {
     pub params: WorkloadParams,
     /// Machine configuration.
     pub sim: SimConfig,
+    /// Worker threads for the workload × configuration sweep cells:
+    /// 0 = auto (`EDE_JOBS` or the host parallelism), 1 = sequential.
+    /// Every figure is bit-identical for every value — cells are
+    /// independent simulations merged in canonical order (see DESIGN.md
+    /// "Parallel execution").
+    pub jobs: usize,
 }
 
 /// One application's row in Figure 9.
@@ -59,13 +65,27 @@ impl Fig9 {
     }
 }
 
-fn run_all_configs(
-    w: &dyn Workload,
+/// Runs a list of independent workload × configuration cells across
+/// `cfg.jobs` pool workers, returning results in cell order. The first
+/// error **in cell order** is propagated (not the first to complete), so
+/// error behavior is as deterministic as the success path.
+fn run_cells(
     cfg: &ExperimentConfig,
+    suite: &[Box<dyn Workload>],
+    cells: &[(usize, ArchConfig)],
 ) -> Result<Vec<RunResult>, CoreError> {
-    ArchConfig::ALL
-        .iter()
-        .map(|&arch| run_workload(w, &cfg.params, arch, &cfg.sim))
+    ede_util::pool::par_map_indexed(cfg.jobs, cells, |_, &(wi, arch)| {
+        run_workload(suite[wi].as_ref(), &cfg.params, arch, &cfg.sim)
+    })
+    .into_iter()
+    .collect()
+}
+
+/// Workload-major cell order: all five configurations of workload 0,
+/// then workload 1, … — the canonical order `fig9`/`fig10` merge in.
+fn cells_workload_major(n: usize) -> Vec<(usize, ArchConfig)> {
+    (0..n)
+        .flat_map(|wi| ArchConfig::ALL.iter().map(move |&arch| (wi, arch)))
         .collect()
 }
 
@@ -87,9 +107,10 @@ pub fn fig9_with(
     cfg: &ExperimentConfig,
     suite: &[Box<dyn Workload>],
 ) -> Result<Fig9, CoreError> {
+    let results = run_cells(cfg, suite, &cells_workload_major(suite.len()))?;
     let mut rows = Vec::new();
-    for w in suite {
-        let runs = run_all_configs(w.as_ref(), cfg)?;
+    for (wi, w) in suite.iter().enumerate() {
+        let runs = &results[wi * 5..wi * 5 + 5];
         let base = runs[0].tx_cycles.max(1);
         let mut cycles = [0u64; 5];
         let mut normalized = [0f64; 5];
@@ -248,17 +269,17 @@ pub fn fig10_with(
     cfg: &ExperimentConfig,
     suite: &[Box<dyn Workload>],
 ) -> Result<Fig10, CoreError> {
-    let mut cells = Vec::new();
-    for w in suite {
-        for arch in ArchConfig::ALL {
-            let r = run_workload(w.as_ref(), &cfg.params, arch, &cfg.sim)?;
-            cells.push(Fig10Cell {
-                app: w.name().to_string(),
-                arch,
-                histogram: r.nvm_occupancy,
-            });
-        }
-    }
+    let grid = cells_workload_major(suite.len());
+    let results = run_cells(cfg, suite, &grid)?;
+    let cells = grid
+        .iter()
+        .zip(results)
+        .map(|(&(wi, arch), r)| Fig10Cell {
+            app: suite[wi].name().to_string(),
+            arch,
+            histogram: r.nvm_occupancy,
+        })
+        .collect();
     Ok(Fig10 { cells })
 }
 
@@ -310,12 +331,18 @@ pub fn fig11_with(
     suite: &[Box<dyn Workload>],
 ) -> Result<Fig11, CoreError> {
     let width = cfg.sim.cpu.issue_width;
+    // Arch-major cell order: this figure aggregates per configuration.
+    let grid: Vec<(usize, ArchConfig)> = ArchConfig::ALL
+        .iter()
+        .flat_map(|&arch| (0..suite.len()).map(move |wi| (wi, arch)))
+        .collect();
+    let results = run_cells(cfg, suite, &grid)?;
     let mut rows = Vec::new();
-    for arch in ArchConfig::ALL {
+    for (ai, arch) in ArchConfig::ALL.into_iter().enumerate() {
+        let runs = &results[ai * suite.len()..(ai + 1) * suite.len()];
         let mut counts = vec![0u64; width + 1];
         let mut ipcs = Vec::new();
-        for w in suite {
-            let r = run_workload(w.as_ref(), &cfg.params, arch, &cfg.sim)?;
+        for r in runs {
             for (n, c) in r.issue_hist.counts().iter().enumerate() {
                 counts[n] += c;
             }
@@ -355,6 +382,19 @@ mod tests {
                 ..WorkloadParams::default()
             },
             sim: SimConfig::a72(),
+            jobs: 1,
+        }
+    }
+
+    #[test]
+    fn figures_are_identical_for_every_job_count() {
+        let suite: Vec<Box<dyn Workload>> = vec![Box::new(Update)];
+        let base = fig9_with(&tiny(), &suite).unwrap();
+        for jobs in [2, 7] {
+            let cfg = ExperimentConfig { jobs, ..tiny() };
+            let f = fig9_with(&cfg, &suite).unwrap();
+            assert_eq!(f.rows[0].cycles, base.rows[0].cycles, "jobs {jobs}");
+            assert_eq!(f.geomean, base.geomean, "jobs {jobs}");
         }
     }
 

@@ -92,6 +92,16 @@ impl Criterion {
         self
     }
 
+    /// Runs one benchmark, prints its report line, and returns the
+    /// collected statistics — for drivers that post-process measurements
+    /// (e.g. the `speedup` binary writing `BENCH_parallel.json`).
+    pub fn bench_measured<F>(&mut self, id: impl Into<String>, f: F) -> Measurement
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self, None, &id.into(), f)
+    }
+
     /// Opens a named group; per-group settings override the harness's.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
@@ -156,7 +166,25 @@ impl Bencher {
     }
 }
 
-fn run_one<F>(c: &Criterion, group_sample_size: Option<usize>, id: &str, mut f: F)
+/// One benchmark's collected statistics, exactly what the report line
+/// prints: nanoseconds per iteration over the collected samples.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// The benchmark id (group-qualified where applicable).
+    pub id: String,
+    /// Fastest sample, ns/iteration.
+    pub min_ns: f64,
+    /// Mean over samples, ns/iteration.
+    pub mean_ns: f64,
+    /// Slowest sample, ns/iteration.
+    pub max_ns: f64,
+    /// Samples collected.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters: u64,
+}
+
+fn run_one<F>(c: &Criterion, group_sample_size: Option<usize>, id: &str, mut f: F) -> Measurement
 where
     F: FnMut(&mut Bencher),
 {
@@ -215,6 +243,14 @@ where
         samples,
         iters
     );
+    Measurement {
+        id: id.to_string(),
+        min_ns: min,
+        mean_ns: mean,
+        max_ns: max,
+        samples,
+        iters,
+    }
 }
 
 fn fmt_ns(ns: f64) -> String {
@@ -276,6 +312,21 @@ mod tests {
             b.iter(|| black_box(1 + 1))
         });
         assert!(ran >= 3, "warm-up + samples, got {ran}");
+    }
+
+    #[test]
+    fn bench_measured_returns_the_printed_stats() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2))
+            .sample_size(3);
+        let m = c.bench_measured("measured", |b| {
+            b.iter_custom(|iters| Duration::from_nanos(iters * 10))
+        });
+        assert_eq!(m.id, "measured");
+        assert_eq!(m.samples, 3);
+        assert!(m.min_ns <= m.mean_ns && m.mean_ns <= m.max_ns);
+        assert!((m.mean_ns - 10.0).abs() < 1.0, "mean {}", m.mean_ns);
     }
 
     #[test]

@@ -13,15 +13,20 @@
 //!   `EDE_PROPTEST_CASES` / `EDE_PROPTEST_SEED` environment overrides;
 //! * [`bench`] — a small wall-clock benchmark harness with a
 //!   Criterion-like API (`bench_function`, `iter`, `iter_custom`,
-//!   benchmark groups) for the `benches/` targets.
+//!   benchmark groups) for the `benches/` targets;
+//! * [`pool`] — a scoped thread pool (std::thread + channels) with a
+//!   deterministic map-reduce layer: results come back in submission
+//!   order, so parallel runs are bit-identical to sequential ones
+//!   (`EDE_JOBS` selects the worker count).
 //!
 //! Everything is deterministic by construction: a property-test failure
-//! prints the seed that reproduces it, and the same seed always replays
-//! the same cases.
+//! prints the seed that reproduces it, the same seed always replays
+//! the same cases, and the parallel fan-out never changes an output.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bench;
 pub mod check;
+pub mod pool;
 pub mod rng;

@@ -1,0 +1,291 @@
+//! A zero-dependency scoped thread pool with a deterministic map-reduce
+//! layer.
+//!
+//! Every sweep and fuzz campaign in this workspace is a list of fully
+//! independent jobs (workload × configuration cells, seeded fuzz cases,
+//! property-test cases). [`Pool::run`] fans such a list out over
+//! `std::thread::scope` workers and reassembles the results **in
+//! submission order**, so the output of a parallel run is bit-identical
+//! to a sequential one — the determinism contract every caller's tests
+//! rely on (see DESIGN.md "Parallel execution").
+//!
+//! * **Job count** — explicit, or 0 for auto: the `EDE_JOBS` environment
+//!   variable if set, else the host parallelism ([`resolve_jobs`]).
+//! * **Work distribution** — an atomic cursor hands indices to workers
+//!   dynamically; results travel back over an mpsc channel tagged with
+//!   their index, so scheduling never affects output order.
+//! * **Panic propagation** — a panicking job poisons the pool (no new
+//!   jobs start), and the panic with the **lowest job index** is re-rose
+//!   on the caller with job context. Because indices are handed out in
+//!   order and job bodies are deterministic, the propagated panic is the
+//!   same on every run and for every job count.
+//!
+//! # Example
+//!
+//! ```
+//! use ede_util::pool;
+//!
+//! let squares = pool::par_map_indexed(4, &[1u64, 2, 3], |i, &x| x * x + i as u64);
+//! assert_eq!(squares, vec![1, 5, 11]);
+//! // Bit-identical to the sequential evaluation, whatever the job count.
+//! assert_eq!(squares, pool::par_map_indexed(1, &[1u64, 2, 3], |i, &x| x * x + i as u64));
+//! ```
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Resolves a requested job count: any positive request is taken as-is;
+/// 0 means auto — `EDE_JOBS` if set, else the host's available
+/// parallelism, else 1.
+///
+/// # Panics
+///
+/// Panics if `EDE_JOBS` is set but is not a positive integer, so a typo
+/// in CI never silently serializes (or over-subscribes) a campaign.
+pub fn resolve_jobs(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    match std::env::var("EDE_JOBS") {
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => panic!("EDE_JOBS={raw:?} is not a positive integer"),
+        },
+        Err(_) => std::thread::available_parallelism().map_or(1, usize::from),
+    }
+}
+
+/// A scoped worker pool of a fixed job count. The pool owns no threads
+/// between calls — each [`run`](Pool::run) spawns scoped workers and
+/// joins them before returning, so borrowed job closures need no
+/// `'static` bound.
+#[derive(Clone, Debug)]
+pub struct Pool {
+    jobs: usize,
+}
+
+impl Pool {
+    /// Creates a pool with `jobs` workers (0 = auto, see
+    /// [`resolve_jobs`]).
+    pub fn new(jobs: usize) -> Pool {
+        Pool {
+            jobs: resolve_jobs(jobs),
+        }
+    }
+
+    /// The resolved worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Evaluates `f(0)`, `f(1)`, …, `f(n - 1)` across the pool's workers
+    /// and returns the results in index order. With one worker (or one
+    /// job) everything runs inline on the caller's thread; the returned
+    /// vector is identical either way.
+    ///
+    /// # Panics
+    ///
+    /// If any job panics, re-raises the panic with the lowest job index,
+    /// prefixed with that index for context. Jobs not yet started when
+    /// the first panic lands are skipped.
+    pub fn run<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let workers = self.jobs.min(n);
+        if workers <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let poisoned = AtomicBool::new(false);
+        let (tx, rx) = mpsc::channel::<(usize, Result<T, String>)>();
+        let f = &f;
+        let mut slots: Vec<Option<Result<T, String>>> = Vec::new();
+        slots.resize_with(n, || None);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                let poisoned = &poisoned;
+                scope.spawn(move || loop {
+                    if poisoned.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let out = catch_unwind(AssertUnwindSafe(|| f(i))).map_err(|payload| {
+                        poisoned.store(true, Ordering::Release);
+                        panic_message(payload.as_ref())
+                    });
+                    if tx.send((i, out)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            for (i, result) in rx {
+                slots[i] = Some(result);
+            }
+        });
+        let mut out = Vec::with_capacity(n);
+        for (i, slot) in slots.into_iter().enumerate() {
+            match slot {
+                Some(Ok(v)) => out.push(v),
+                // Indices are handed out in order, so the first Err in
+                // index order is the lowest panicking job — and every
+                // skipped (None) slot sits above it.
+                Some(Err(msg)) => panic!("parallel job {i} of {n} panicked: {msg}"),
+                None => unreachable!("job {i} skipped without an earlier panic"),
+            }
+        }
+        out
+    }
+}
+
+/// Maps `f` over `items` with their indices across `jobs` workers
+/// (0 = auto), returning results in item order — the deterministic
+/// map-reduce entry point. Equivalent to
+/// `items.iter().enumerate().map(|(i, x)| f(i, x)).collect()`, only
+/// faster.
+pub fn par_map_indexed<T, U, F>(jobs: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    Pool::new(jobs).run(items.len(), |i| f(i, &items[i]))
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "panic with non-string payload".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::catch_unwind;
+    use std::sync::atomic::AtomicU32;
+
+    fn sequential(n: usize) -> Vec<u64> {
+        (0..n).map(|i| (i as u64) * 3 + 1).collect()
+    }
+
+    #[test]
+    fn results_arrive_in_submission_order() {
+        for jobs in [1, 2, 3, 7, 16] {
+            let pool = Pool::new(jobs);
+            let got = pool.run(20, |i| (i as u64) * 3 + 1);
+            assert_eq!(got, sequential(20), "jobs {jobs}");
+        }
+    }
+
+    #[test]
+    fn zero_jobs_resolves_to_auto() {
+        let pool = Pool::new(0);
+        assert!(pool.jobs() >= 1);
+        assert_eq!(pool.run(5, |i| i), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn single_job_runs_inline() {
+        let pool = Pool::new(1);
+        assert_eq!(pool.jobs(), 1);
+        // An inline run sees the caller's thread (no worker spawned).
+        let caller = std::thread::current().id();
+        let ids = pool.run(3, |_| std::thread::current().id());
+        assert!(ids.iter().all(|&id| id == caller));
+    }
+
+    #[test]
+    fn more_jobs_than_items() {
+        let pool = Pool::new(64);
+        assert_eq!(pool.run(3, |i| i * i), vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn zero_items_yields_empty() {
+        assert!(Pool::new(4).run(0, |i| i).is_empty());
+        assert!(par_map_indexed(4, &[] as &[u8], |_, &b| b).is_empty());
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let counts: Vec<AtomicU32> = (0..100).map(|_| AtomicU32::new(0)).collect();
+        Pool::new(8).run(100, |i| counts[i].fetch_add(1, Ordering::Relaxed));
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_map_indexed_matches_serial_map() {
+        let items: Vec<u64> = (0..50).map(|i| i * 7).collect();
+        let serial: Vec<u64> = items.iter().enumerate().map(|(i, &x)| x + i as u64).collect();
+        for jobs in [1, 3, 4, 13] {
+            assert_eq!(
+                par_map_indexed(jobs, &items, |i, &x| x + i as u64),
+                serial,
+                "jobs {jobs}"
+            );
+        }
+    }
+
+    /// Panics quietly: sets the crate's quiet flag for the current
+    /// (worker) thread so intentional test panics don't spam the log.
+    fn quiet_panic(msg: String) -> ! {
+        crate::check::install_quiet_hook();
+        crate::check::QUIET_PANICS.with(|q| q.set(true));
+        panic!("{msg}");
+    }
+
+    #[test]
+    fn panic_carries_job_context() {
+        crate::check::install_quiet_hook();
+        crate::check::QUIET_PANICS.with(|q| q.set(true));
+        let result = catch_unwind(|| {
+            Pool::new(4).run(10, |i| {
+                if i == 6 {
+                    quiet_panic(format!("boom at {i}"));
+                }
+                i
+            })
+        });
+        let msg = panic_message(result.expect_err("job 6 must fail").as_ref());
+        assert!(
+            msg.contains("parallel job 6 of 10 panicked: boom at 6"),
+            "unexpected message: {msg}"
+        );
+    }
+
+    #[test]
+    fn lowest_panicking_index_wins() {
+        crate::check::install_quiet_hook();
+        crate::check::QUIET_PANICS.with(|q| q.set(true));
+        // Jobs 2 and 5 both panic; index order must pick 2 regardless of
+        // which worker thread lands first.
+        for _ in 0..10 {
+            let result = catch_unwind(|| {
+                Pool::new(4).run(8, |i| {
+                    if i == 2 || i == 5 {
+                        quiet_panic(format!("bad {i}"));
+                    }
+                    i
+                })
+            });
+            let msg = panic_message(result.expect_err("must fail").as_ref());
+            assert!(msg.contains("parallel job 2 of 8"), "got: {msg}");
+        }
+    }
+
+    #[test]
+    fn resolve_jobs_passthrough() {
+        assert_eq!(resolve_jobs(1), 1);
+        assert_eq!(resolve_jobs(7), 7);
+    }
+}

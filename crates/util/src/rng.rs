@@ -38,6 +38,19 @@ impl SplitMix64 {
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^ (z >> 31)
     }
+
+    /// Advances the stream by `n` steps in O(1), as if [`next_u64`]
+    /// (Self::next_u64) had been called `n` times and the results
+    /// discarded. SplitMix64's state is an arithmetic progression, so
+    /// parallel workers can carve one master stream into disjoint
+    /// per-worker substreams without replaying the prefix — the seed
+    /// partitioning scheme of `ede_util::pool` users (see DESIGN.md
+    /// "Parallel execution").
+    pub fn jump(&mut self, n: u64) {
+        self.0 = self
+            .0
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(n));
+    }
 }
 
 /// One round of SplitMix64 finalization: a cheap, high-quality mix of a
@@ -248,6 +261,29 @@ mod tests {
         assert_eq!(sm.next_u64(), 0xE220_A839_7B1D_CDAF);
         assert_eq!(sm.next_u64(), 0x6E78_9E6A_A1B9_65F4);
         assert_eq!(sm.next_u64(), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn jump_matches_sequential_stream() {
+        for &(seed, n) in &[(0u64, 0u64), (0, 1), (7, 5), (0xDEAD_BEEF, 1000)] {
+            let mut seq = SplitMix64::new(seed);
+            for _ in 0..n {
+                seq.next_u64();
+            }
+            let mut jumped = SplitMix64::new(seed);
+            jumped.jump(n);
+            assert_eq!(jumped.next_u64(), seq.next_u64(), "seed {seed}, n {n}");
+        }
+    }
+
+    #[test]
+    fn jumps_compose() {
+        let mut a = SplitMix64::new(3);
+        a.jump(10);
+        a.jump(7);
+        let mut b = SplitMix64::new(3);
+        b.jump(17);
+        assert_eq!(a.next_u64(), b.next_u64());
     }
 
     #[test]

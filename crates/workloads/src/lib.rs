@@ -104,7 +104,12 @@ impl IndexSampler {
 }
 
 /// One Table II application.
-pub trait Workload {
+///
+/// `Send + Sync` is a supertrait so experiment sweeps can fan workloads
+/// out across `ede_util::pool` workers; implementations are stateless
+/// (all run state lives in the per-call RNG and trace builder), so the
+/// bound is free.
+pub trait Workload: Send + Sync {
     /// The paper's short name (`update`, `swap`, `btree`, …).
     fn name(&self) -> &'static str;
 

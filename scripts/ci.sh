@@ -12,8 +12,12 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release --offline"
 cargo build --workspace --release --offline
 
-echo "==> cargo test --offline"
-cargo test --workspace -q --offline
+# EDE_JOBS=2 exercises the parallel fan-out (figure sweeps, fuzz scans,
+# property-case runners) even on single-core runners; every output is
+# bit-identical to a sequential run by the pool's determinism contract
+# (see DESIGN.md "Parallel execution").
+echo "==> cargo test --offline (EDE_JOBS=2)"
+EDE_JOBS=2 cargo test --workspace -q --offline
 
 # Lint when the toolchain ships clippy (optional component; skipped
 # silently where absent so the gate stays runnable on minimal installs).
@@ -28,8 +32,19 @@ fi
 # against the golden in-order model on every crash-safe configuration.
 # Small enough for every push; the nightly job runs the same command with
 # a much larger budget (see .github/workflows/ci.yml).
-echo "==> fuzz smoke (seed 0, 200 cases)"
+echo "==> fuzz smoke (seed 0, 200 cases, 2 workers)"
 cargo run --release --offline -q -p ede-check --bin ede-sim -- \
-    fuzz --seed 0 --cases 200
+    fuzz --seed 0 --cases 200 --jobs 2
+
+# Parallel determinism spot check: the fuzz verdict on stdout must be
+# byte-identical however many workers scanned the case range.
+echo "==> fuzz determinism (--jobs 1 vs --jobs 4)"
+out_dir=$(mktemp -d)
+cargo run --release --offline -q -p ede-check --bin ede-sim -- \
+    fuzz --seed 7 --cases 100 --jobs 1 2>/dev/null > "$out_dir/jobs1.out"
+cargo run --release --offline -q -p ede-check --bin ede-sim -- \
+    fuzz --seed 7 --cases 100 --jobs 4 2>/dev/null > "$out_dir/jobs4.out"
+diff "$out_dir/jobs1.out" "$out_dir/jobs4.out"
+rm -rf "$out_dir"
 
 echo "==> OK"

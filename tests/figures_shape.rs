@@ -15,6 +15,7 @@ fn cfg() -> ExperimentConfig {
             ..WorkloadParams::default()
         },
         sim: SimConfig::a72(),
+        jobs: 0,
     }
 }
 

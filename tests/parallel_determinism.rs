@@ -1,0 +1,105 @@
+//! The parallel determinism contract, end to end: every artifact this
+//! workspace produces — figure serializations, fuzz verdicts, shrunk
+//! reproducers — must be **bit-identical** for every `jobs` value. The
+//! thread pool is pure mechanism; if any of these assertions fails, a
+//! scheduling decision has leaked into an output.
+
+use ede_check::fuzz::{fuzz, FuzzOptions};
+use ede_cpu::FaultInjection;
+use ede_sim::experiment::{fig10_with, fig9_with, ExperimentConfig};
+use ede_sim::report::{fig10_json, fig9_json};
+use ede_sim::SimConfig;
+use ede_util::pool;
+use ede_workloads::{btree::BTree, update::Update, Workload, WorkloadParams};
+
+const JOB_COUNTS: [usize; 3] = [1, 4, 7];
+
+fn cfg(jobs: usize) -> ExperimentConfig {
+    ExperimentConfig {
+        params: WorkloadParams {
+            ops: 60,
+            ops_per_tx: 20,
+            array_elems: 256,
+            prepopulate: 500,
+            ..WorkloadParams::default()
+        },
+        sim: SimConfig::a72(),
+        jobs,
+    }
+}
+
+fn suite() -> Vec<Box<dyn Workload>> {
+    vec![Box::new(Update), Box::new(BTree)]
+}
+
+#[test]
+fn fig9_serialization_is_bit_identical_across_job_counts() {
+    let baseline = fig9_json(&fig9_with(&cfg(1), &suite()).unwrap());
+    for jobs in JOB_COUNTS {
+        let json = fig9_json(&fig9_with(&cfg(jobs), &suite()).unwrap());
+        assert_eq!(json, baseline, "fig9 diverged at jobs {jobs}");
+    }
+}
+
+#[test]
+fn fig10_serialization_is_bit_identical_across_job_counts() {
+    let baseline = fig10_json(&fig10_with(&cfg(1), &suite()).unwrap());
+    for jobs in JOB_COUNTS {
+        let json = fig10_json(&fig10_with(&cfg(jobs), &suite()).unwrap());
+        assert_eq!(json, baseline, "fig10 diverged at jobs {jobs}");
+    }
+}
+
+/// A clean 200-case fuzz campaign produces the same report — same
+/// `cases_run`, same absent failure — for every worker count.
+#[test]
+fn clean_fuzz_verdict_is_identical_across_job_counts() {
+    let opts = |jobs| FuzzOptions {
+        seed: 0xDE7E,
+        cases: 200,
+        max_cmds: 15,
+        jobs,
+        ..FuzzOptions::default()
+    };
+    let baseline = fuzz(&opts(1));
+    assert!(baseline.failure.is_none(), "{:?}", baseline.failure);
+    assert_eq!(baseline.cases_run, 200);
+    for jobs in JOB_COUNTS {
+        assert_eq!(fuzz(&opts(jobs)), baseline, "fuzz diverged at jobs {jobs}");
+    }
+}
+
+/// A failing campaign (injected DropEdeps fault) produces the same
+/// earliest failing case, the same derived case seed, and the same
+/// *shrunk reproducer* for every worker count — the whole failure object
+/// compares equal, commands and minimal program included.
+#[test]
+fn failing_fuzz_report_is_identical_across_job_counts() {
+    let opts = |jobs| FuzzOptions {
+        cases: 40,
+        fault: Some(FaultInjection::DropEdeps),
+        jobs,
+        ..FuzzOptions::default()
+    };
+    let baseline = fuzz(&opts(1));
+    let failure = baseline.failure.as_ref().expect("fault must be caught");
+    assert!(!failure.cmds.is_empty());
+    for jobs in JOB_COUNTS {
+        assert_eq!(fuzz(&opts(jobs)), baseline, "failure diverged at jobs {jobs}");
+    }
+}
+
+/// The pool primitive itself: order preservation under oversubscription
+/// and under more workers than items.
+#[test]
+fn pool_output_is_independent_of_worker_count() {
+    let items: Vec<u64> = (0..97).collect();
+    let expected: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(0x9E37) ^ 7).collect();
+    for jobs in [1, 2, 4, 7, 32] {
+        assert_eq!(
+            pool::par_map_indexed(jobs, &items, |_, &x| x.wrapping_mul(0x9E37) ^ 7),
+            expected,
+            "jobs {jobs}"
+        );
+    }
+}
