@@ -1,31 +1,50 @@
-//! `ede-sim` — the conformance-checking CLI.
+//! `ede-sim` — the conformance-checking and fault-injection CLI.
 //!
 //! ```text
-//! ede-sim fuzz [--seed N] [--cases N] [--max-cmds N] [--arch B,IQ,WB]
-//!              [--fault drop-edeps|weak-dsb] [--shrink-iters N]
-//!              [--jobs N] [--progress N]
+//! ede-sim fuzz   [--seed N] [--cases N] [--max-cmds N] [--arch B,IQ,WB]
+//!                [--fault NAME[:N]] [--shrink-iters N] [--jobs N]
+//!                [--progress N]
+//! ede-sim inject [--seed N] [--cases N] [--max-cmds N] [--arch B,IQ,WB]
+//!                [--fault NAME[:N],NAME,...] [--shrink-iters N]
+//!                [--jobs N] [--progress N] [--disable-detectors]
 //! ```
 //!
-//! Runs the differential fuzzer: seeded random programs through the
-//! cycle-level pipeline on each architecture, conformance-checked against
-//! the golden in-order model. Exit status: 0 when every case conforms,
-//! 2 when a (shrunk) counterexample was found, 1 on usage errors.
+//! `fuzz` runs the differential fuzzer: seeded random programs through
+//! the cycle-level pipeline on each architecture, conformance-checked
+//! against the golden in-order model.
+//!
+//! `inject` runs the fault-injection campaign: every fault in the
+//! taxonomy (or the `--fault` subset) against every architecture,
+//! asserting each is detected — by the conformance axioms, the crash
+//! checker, or the pipeline watchdog — or provably tolerated. The
+//! detection-coverage matrix is printed to stdout as JSON.
+//! `--disable-detectors` is the campaign's self-test: with every
+//! detector off, a corrupting fault must fail the campaign with a
+//! shrunk reproducer.
+//!
+//! Exit status: 0 when the run passes, 2 when a (shrunk) counterexample
+//! or silent corruption was found, 1 on usage errors.
 //!
 //! `--jobs` selects worker threads (0 = auto via `EDE_JOBS` or the host
 //! parallelism). stdout is byte-identical for every job count; worker
-//! progress (`--progress N` = report every N cases, 0 = silent) goes to
-//! stderr only.
+//! progress (`--progress N`, 0 = silent) goes to stderr only.
 
 use ede_check::fuzz::{fuzz, FuzzOptions};
+use ede_check::inject::{inject, InjectOptions};
 use ede_cpu::FaultInjection;
 use ede_isa::ArchConfig;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: ede-sim fuzz [--seed N] [--cases N] [--max-cmds N] \
-         [--arch B,IQ,WB] [--fault drop-edeps|weak-dsb] [--shrink-iters N] \
-         [--jobs N] [--progress N]"
+        "usage: ede-sim fuzz   [--seed N] [--cases N] [--max-cmds N] \
+         [--arch B,IQ,WB] [--fault NAME[:N]] [--shrink-iters N] \
+         [--jobs N] [--progress N]\n\
+         \u{20}      ede-sim inject [--seed N] [--cases N] [--max-cmds N] \
+         [--arch B,IQ,WB] [--fault NAME[:N],...] [--shrink-iters N] \
+         [--jobs N] [--progress N] [--disable-detectors]\n\
+         faults: {}",
+        FaultInjection::ALL.map(|f| f.label()).join(", ")
     );
     ExitCode::from(1)
 }
@@ -36,11 +55,11 @@ fn parse_archs(spec: &str) -> Option<Vec<ArchConfig>> {
         .collect()
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) != Some("fuzz") {
-        return usage();
-    }
+fn parse_faults(spec: &str) -> Option<Vec<FaultInjection>> {
+    spec.split(',').map(FaultInjection::parse).collect()
+}
+
+fn run_fuzz(args: &[String]) -> Option<ExitCode> {
     let mut opts = FuzzOptions {
         // Interactive/CI sessions get a liveness signal on long runs by
         // default; `--progress 0` silences it. Library callers default
@@ -48,11 +67,9 @@ fn main() -> ExitCode {
         progress_every: 5000,
         ..FuzzOptions::default()
     };
-    let mut it = args[1..].iter();
+    let mut it = args.iter();
     while let Some(flag) = it.next() {
-        let Some(value) = it.next() else {
-            return usage();
-        };
+        let value = it.next()?;
         let ok = match flag.as_str() {
             "--seed" => value.parse().map(|v| opts.seed = v).is_ok(),
             "--cases" => value.parse().map(|v| opts.cases = v).is_ok(),
@@ -67,21 +84,17 @@ fn main() -> ExitCode {
                 }
                 None => false,
             },
-            "--fault" => match value.as_str() {
-                "drop-edeps" => {
-                    opts.fault = Some(FaultInjection::DropEdeps);
+            "--fault" => match FaultInjection::parse(value) {
+                Some(f) => {
+                    opts.fault = Some(f);
                     true
                 }
-                "weak-dsb" => {
-                    opts.fault = Some(FaultInjection::WeakDsb);
-                    true
-                }
-                _ => false,
+                None => false,
             },
             _ => false,
         };
         if !ok {
-            return usage();
+            return None;
         }
     }
 
@@ -104,7 +117,7 @@ fn main() -> ExitCode {
         ede_util::pool::Pool::new(opts.jobs).jobs()
     );
     let report = fuzz(&opts);
-    match report.failure {
+    Some(match report.failure {
         None => {
             println!("ok: {} cases, zero conformance diffs", report.cases_run);
             ExitCode::SUCCESS
@@ -132,5 +145,89 @@ fn main() -> ExitCode {
             );
             ExitCode::from(2)
         }
+    })
+}
+
+fn run_inject(args: &[String]) -> Option<ExitCode> {
+    let mut opts = InjectOptions::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--disable-detectors" {
+            opts.detectors_enabled = false;
+            continue;
+        }
+        let value = it.next()?;
+        let ok = match flag.as_str() {
+            "--seed" => value.parse().map(|v| opts.seed = v).is_ok(),
+            "--cases" => value.parse().map(|v| opts.cases = v).is_ok(),
+            "--max-cmds" => value.parse().map(|v| opts.max_cmds = v).is_ok(),
+            "--shrink-iters" => value.parse().map(|v| opts.max_shrink_iters = v).is_ok(),
+            "--jobs" => value.parse().map(|v| opts.jobs = v).is_ok(),
+            "--progress" => value.parse().map(|v| opts.progress_every = v).is_ok(),
+            "--arch" => match parse_archs(value) {
+                Some(archs) => {
+                    opts.archs = archs;
+                    true
+                }
+                None => false,
+            },
+            "--fault" => match parse_faults(value) {
+                Some(faults) => {
+                    opts.faults = faults;
+                    true
+                }
+                None => false,
+            },
+            _ => false,
+        };
+        if !ok {
+            return None;
+        }
     }
+
+    eprintln!(
+        "inject: {} fault(s) × {} arch(es) × {} case(s), {} worker(s)",
+        opts.faults.len(),
+        opts.archs.len(),
+        opts.cases,
+        ede_util::pool::Pool::new(opts.jobs).jobs()
+    );
+    let report = inject(&opts);
+    println!("{}", report.to_json());
+    Some(if report.all_covered() {
+        ExitCode::SUCCESS
+    } else {
+        if let Some(f) = &report.failure {
+            println!(
+                "SILENT CORRUPTION: {} on {} at case {} (case seed {:#x}): \
+                 minimal program after {} shrink steps ({} instructions)",
+                f.fault.label(),
+                f.arch,
+                f.case,
+                f.case_seed,
+                f.shrink_steps,
+                f.program.len(),
+            );
+            println!("commands: {:?}", f.cmds);
+            println!("{}", ede_isa::asm::listing_annotated(&f.program));
+            println!(
+                "replay: ede-sim inject --seed {:#x} --fault {} --arch {}{}",
+                report.seed,
+                f.fault.label(),
+                f.arch.label(),
+                if report.detectors_enabled { "" } else { " --disable-detectors" },
+            );
+        }
+        ExitCode::from(2)
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("fuzz") => run_fuzz(&args[1..]),
+        Some("inject") => run_inject(&args[1..]),
+        _ => None,
+    };
+    result.unwrap_or_else(usage)
 }

@@ -103,7 +103,10 @@ pub struct FuzzReport {
 fn fuzz_sim(fault: Option<FaultInjection>) -> SimConfig {
     let mut sim = SimConfig::a72();
     sim.max_cycles = 2_000_000;
+    // Pipeline faults are read by the core, memory-system faults by the
+    // controller; setting both lets one flag inject either layer.
     sim.cpu.fault = fault;
+    sim.mem.fault = fault;
     sim
 }
 

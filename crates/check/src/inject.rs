@@ -1,0 +1,631 @@
+//! The fault-injection campaign engine.
+//!
+//! `ede-sim fuzz` answers "does the pipeline conform?"; this module
+//! answers the dual question: **if the pipeline (or the memory system,
+//! or the media) were broken, would the checkers notice?** For every
+//! fault in the [`FaultInjection`] taxonomy and every architecture in
+//! the sweep, the campaign runs seeded probe programs with the fault
+//! injected and classifies each case:
+//!
+//! * **detected** — a detector fired: a conformance axiom diff, the
+//!   pipeline watchdog's deadlock diagnosis, the cycle-budget limit, or
+//!   a [`CrashChecker`] failure-atomicity violation;
+//! * **tolerated** — no detector fired *and* the run's architectural
+//!   outputs (per-address store sequences, per-line persist counts, the
+//!   final NVM image) are identical to a fault-free run of the same
+//!   program, i.e. the fault provably did not corrupt anything this
+//!   case could observe (a `drop-persist` fault on a program with no
+//!   persists, say);
+//! * **silent** — outputs differ from the fault-free run but nothing
+//!   detected it. This is the campaign's failure condition: it means a
+//!   corruption escaped every checker. The offending program is shrunk
+//!   to a minimal reproducer, exactly like a fuzz counterexample.
+//!
+//! Faults probe the layer they live in. Pipeline faults run the
+//! *conformance probe*: random litmus programs (the fuzzer's generator)
+//! checked against the golden model. Memory-system faults additionally
+//! run the *crash probe*: a transactional program whose every crash
+//! instant is replayed through recovery — this is what catches
+//! `early-clean-ack`, which perturbs no architectural output but leaves
+//! crash images where the commit marker is durable before the data.
+//! Media faults run only the crash probe, with the corruption applied
+//! to each reconstructed crash image through
+//! [`CrashChecker::check_all_images_mutated`].
+//!
+//! Outcomes are aggregated into a per-cell detection-coverage matrix
+//! ([`InjectReport::to_json`]) and the campaign passes only when no
+//! cell recorded a silent corruption. Setting
+//! [`InjectOptions::detectors_enabled`] to `false` switches every
+//! detector off — a self-test hook proving the campaign *does* fail
+//! (with a shrunk reproducer) when corruption goes unobserved.
+
+use crate::conform::check_run;
+use crate::gen::{cmds_strategy, concretize, Cmd};
+use crate::golden::{self, GoldenConfig};
+use ede_isa::{ArchConfig, Program};
+use ede_mem::trace::nvm_image_at;
+use ede_mem::{FaultInjection, FaultLayer};
+use ede_nvm::recovery::NvmImage;
+use ede_nvm::{CrashChecker, Layout, TxOutput, TxWriter};
+use ede_sim::{raw_output, run_program, run_program_traced, RunResult, SimConfig};
+use ede_util::check::{minimize, Strategy};
+use ede_util::rng::{mix64, SmallRng, SplitMix64};
+use std::collections::BTreeMap;
+
+/// Campaign parameters.
+#[derive(Clone, Debug)]
+pub struct InjectOptions {
+    /// Base seed; every case seed derives from it deterministically.
+    pub seed: u64,
+    /// Probe cases per (fault, architecture) cell.
+    pub cases: u32,
+    /// Maximum commands per generated conformance-probe program.
+    pub max_cmds: usize,
+    /// Architectures to inject into.
+    pub archs: Vec<ArchConfig>,
+    /// Faults to sweep (defaults to the whole taxonomy).
+    pub faults: Vec<FaultInjection>,
+    /// Worker threads across cells: 0 = auto (`EDE_JOBS` or the host
+    /// parallelism), 1 = sequential. The report is identical for every
+    /// value.
+    pub jobs: usize,
+    /// Shrink budget for a silent-corruption reproducer.
+    pub max_shrink_iters: u32,
+    /// `false` switches every detector off (conformance axioms and the
+    /// crash checker) — the campaign's self-test hook: with detectors
+    /// down, a corrupting fault must surface as a silent case and fail
+    /// the campaign. Always `true` outside the self-test.
+    pub detectors_enabled: bool,
+    /// Emit a per-cell progress line on stderr (0 = silent). stdout is
+    /// untouched, so parallel and sequential sessions stay
+    /// byte-comparable.
+    pub progress_every: u32,
+}
+
+impl Default for InjectOptions {
+    fn default() -> Self {
+        InjectOptions {
+            seed: 0,
+            cases: 3,
+            max_cmds: 25,
+            archs: vec![ArchConfig::Baseline, ArchConfig::IssueQueue, ArchConfig::WriteBuffer],
+            faults: FaultInjection::ALL.to_vec(),
+            jobs: 0,
+            max_shrink_iters: 4096,
+            detectors_enabled: true,
+            progress_every: 0,
+        }
+    }
+}
+
+/// How one probe case ended.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Outcome {
+    /// A conformance axiom diffed against the golden model.
+    Conformance,
+    /// The pipeline watchdog diagnosed a deadlock.
+    Watchdog,
+    /// The run exceeded the cycle budget.
+    CycleLimit,
+    /// The crash checker found a failure-atomicity violation.
+    CrashChecker,
+    /// Outputs identical to a fault-free run; nothing to detect.
+    Tolerated,
+    /// Outputs corrupted and no detector fired — campaign failure.
+    Silent,
+}
+
+/// Detection counts for one (fault, architecture) cell.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CellReport {
+    /// The injected fault.
+    pub fault: FaultInjection,
+    /// The architecture injected into.
+    pub arch: ArchConfig,
+    /// Cases caught by a conformance-axiom diff.
+    pub conformance: u32,
+    /// Cases caught by the pipeline watchdog.
+    pub watchdog: u32,
+    /// Cases caught by the cycle-budget limit.
+    pub cycle_limit: u32,
+    /// Cases caught by the crash checker.
+    pub crash_checker: u32,
+    /// Cases whose outputs were provably identical to fault-free runs.
+    pub tolerated: u32,
+    /// Cases where corruption escaped every detector.
+    pub silent: u32,
+    /// Case index of the first silent corruption, if any.
+    first_silent: Option<u32>,
+}
+
+impl CellReport {
+    /// Total cases some detector caught.
+    pub fn detected(&self) -> u32 {
+        self.conformance + self.watchdog + self.cycle_limit + self.crash_checker
+    }
+}
+
+/// A silent corruption, shrunk to a minimal reproducer.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct InjectFailure {
+    /// The fault whose corruption went undetected.
+    pub fault: FaultInjection,
+    /// The architecture it slipped through on.
+    pub arch: ArchConfig,
+    /// Which case (0-based, within the cell) failed.
+    pub case: u32,
+    /// The derived per-case seed (for direct replay).
+    pub case_seed: u64,
+    /// The minimal silently-corrupting command list.
+    pub cmds: Vec<Cmd>,
+    /// The minimal failing program (concretized `cmds`).
+    pub program: Program,
+    /// Successful shrink steps taken from the original program.
+    pub shrink_steps: u32,
+}
+
+/// The campaign's detection-coverage matrix.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct InjectReport {
+    /// Echo of the base seed.
+    pub seed: u64,
+    /// Echo of the per-cell case budget.
+    pub cases: u32,
+    /// Whether detectors were live (`false` only in the self-test).
+    pub detectors_enabled: bool,
+    /// One entry per (fault, architecture), in sweep order.
+    pub cells: Vec<CellReport>,
+    /// The first silent corruption in cell order, already shrunk.
+    pub failure: Option<InjectFailure>,
+}
+
+impl InjectReport {
+    /// Whether every injected fault was detected or provably tolerated.
+    pub fn all_covered(&self) -> bool {
+        self.failure.is_none() && self.cells.iter().all(|c| c.silent == 0)
+    }
+
+    /// The matrix as a JSON document (stable key order, no trailing
+    /// whitespace) — the campaign's machine-readable artifact.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"seed\": {},\n", self.seed));
+        s.push_str(&format!("  \"cases_per_cell\": {},\n", self.cases));
+        s.push_str(&format!("  \"detectors_enabled\": {},\n", self.detectors_enabled));
+        s.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            let layer = match c.fault.layer() {
+                FaultLayer::Pipeline => "pipeline",
+                FaultLayer::MemorySystem => "memory-system",
+                FaultLayer::Media => "media",
+            };
+            s.push_str(&format!(
+                "    {{\"fault\": \"{}\", \"layer\": \"{}\", \"arch\": \"{}\", \
+                 \"detected\": {{\"conformance\": {}, \"watchdog\": {}, \
+                 \"cycle-limit\": {}, \"crash-checker\": {}}}, \
+                 \"tolerated\": {}, \"silent\": {}}}{}\n",
+                c.fault.label(),
+                layer,
+                c.arch.label(),
+                c.conformance,
+                c.watchdog,
+                c.cycle_limit,
+                c.crash_checker,
+                c.tolerated,
+                c.silent,
+                if i + 1 < self.cells.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str(&format!("  \"covered\": {}\n", self.all_covered()));
+        s.push('}');
+        s
+    }
+}
+
+/// The simulation configuration probe cases run under: A72 tables, a
+/// cycle budget generous for any probe program, and a watchdog tight
+/// enough that a fault-induced hang is diagnosed well under the budget
+/// (the longest legitimate stall is a few media-write latencies).
+fn inject_sim(fault: Option<FaultInjection>) -> SimConfig {
+    let mut sim = SimConfig::a72();
+    sim.max_cycles = 2_000_000;
+    sim.cpu.watchdog_cycles = 50_000;
+    sim.cpu.fault = fault;
+    sim.mem.fault = fault;
+    sim
+}
+
+/// The architectural outputs two runs of the same program must agree on
+/// if a fault is to count as tolerated: per-address store-visibility
+/// sequences, per-line persist counts, and the final NVM image. Cycle
+/// timestamps are deliberately excluded — a fault that only shifts
+/// timing corrupts nothing these can observe, and the crash probe
+/// covers the one hazard timing shifts create (persist reordering
+/// across a crash).
+type Projection = (
+    BTreeMap<u64, Vec<u64>>,
+    BTreeMap<u64, usize>,
+    BTreeMap<u64, u64>,
+);
+
+fn projection(result: &RunResult) -> Projection {
+    let mut store_seqs: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    for se in &result.trace.stores {
+        store_seqs.entry(se.addr).or_default().push(se.value[0]);
+        if se.width == 16 {
+            store_seqs.entry(se.addr + 8).or_default().push(se.value[1]);
+        }
+    }
+    let mut persist_counts: BTreeMap<u64, usize> = BTreeMap::new();
+    for pe in &result.trace.persists {
+        *persist_counts.entry(pe.line).or_default() += 1;
+    }
+    let image = nvm_image_at(&result.trace, result.trace.horizon(), 64)
+        .into_iter()
+        .collect();
+    (store_seqs, persist_counts, image)
+}
+
+/// Runs one conformance-probe case: the generated program with the
+/// fault injected, checked by the axioms (when enabled) and compared
+/// against a fault-free run of the same program.
+fn conformance_case(cmds: &[Cmd], arch: ArchConfig, fault: FaultInjection, detectors: bool) -> Outcome {
+    let program = concretize(cmds);
+    let golden = golden::run(&program, &GoldenConfig::default())
+        .expect("the generator only emits programs the golden model accepts");
+    let faulty = run_program_traced("inject", raw_output(program.clone()), arch, &inject_sim(Some(fault)));
+    match faulty {
+        Err(e) if e.is_deadlock() => Outcome::Watchdog,
+        Err(_) => Outcome::CycleLimit,
+        Ok((result, rec)) => {
+            if detectors && !check_run(&result, &rec, &golden).is_empty() {
+                return Outcome::Conformance;
+            }
+            let (clean, _) =
+                run_program_traced("inject", raw_output(program), arch, &inject_sim(None))
+                    .expect("fault-free probe programs complete");
+            if projection(&result) == projection(&clean) {
+                Outcome::Tolerated
+            } else {
+                Outcome::Silent
+            }
+        }
+    }
+}
+
+/// The crash probe's transactional program: a handful of words, three
+/// transactions of seeded writes — enough slot reuse and commit-marker
+/// traffic that persist reordering or image corruption lands somewhere
+/// recovery must care about.
+fn tx_case_program(seed: u64, arch: ArchConfig) -> TxOutput {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut tx = TxWriter::new(Layout::standard(), arch);
+    let base = tx.heap_alloc(4 * 8, 8);
+    for i in 0..4u64 {
+        tx.write_init(base + i * 8, i + 1);
+    }
+    tx.finish_init();
+    for t in 0..3u64 {
+        tx.begin_tx();
+        for _ in 0..2 {
+            let word = base + 8 * rng.gen_range(0u64..4);
+            tx.write(word, 100 + t * 100 + rng.gen_range(0u64..90));
+        }
+        tx.commit_tx();
+    }
+    tx.finish()
+}
+
+/// The media corruption a fault applies to each reconstructed crash
+/// image, derived deterministically from the case seed. Corruptions
+/// target words the crash actually persisted (a torn write or stuck
+/// line needs a write to tear or lose); which word is seed-chosen.
+fn media_mutate(fault: FaultInjection, seed: u64, layout: &Layout, image: &mut NvmImage) {
+    let mut rng = SmallRng::seed_from_u64(mix64(seed ^ 0xFA01));
+    match fault {
+        FaultInjection::BitFlipLogEntry => {
+            let slot = layout.slot_addr(rng.gen_range(0u64..2));
+            let word = slot + 8 * rng.gen_range(0u64..4);
+            let bit = rng.gen_range(0u32..64);
+            if let Some(v) = image.get_mut(&word) {
+                *v ^= 1u64 << bit;
+            }
+        }
+        FaultInjection::TornWordWrite => {
+            // The word whose tearing matters is the commit marker: its id
+            // and checksum halves must never be trusted separately. Which
+            // half reached the media is seed-chosen.
+            let keep = if rng.gen_bool(0.5) { 0xFFFF_FFFFu64 } else { !0xFFFF_FFFFu64 };
+            if let Some(v) = image.get_mut(&layout.log_header) {
+                *v &= keep;
+            }
+        }
+        FaultInjection::StuckLine => {
+            let line = match rng.gen_range(0u32..3) {
+                0 => layout.heap_base,
+                1 => layout.slot_addr(0),
+                _ => layout.log_header,
+            } & !63;
+            // The line never accepted writes: it reads as pre-run media.
+            image.retain(|a, _| a & !63 != line);
+        }
+        _ => {}
+    }
+}
+
+/// Runs one crash-probe case: a transactional program (with the fault
+/// injected into the memory system, unless it is a media fault) whose
+/// every reachable crash image is recovered and checked — media faults
+/// corrupt each image first.
+fn crash_case(case_seed: u64, arch: ArchConfig, fault: FaultInjection, detectors: bool) -> Outcome {
+    let out = tx_case_program(case_seed, arch);
+    let sim_fault = if fault.is_media() { None } else { Some(fault) };
+    match run_program("inject-crash", out, arch, &inject_sim(sim_fault)) {
+        Err(e) if e.is_deadlock() => Outcome::Watchdog,
+        Err(_) => Outcome::CycleLimit,
+        Ok(result) => {
+            if !detectors {
+                return Outcome::Tolerated;
+            }
+            let layout = result.output.layout;
+            let checker = CrashChecker::new(&result.output);
+            let verdict = if fault.is_media() {
+                checker.check_all_images_mutated(&result.trace, &|_, image| {
+                    media_mutate(fault, case_seed, &layout, image);
+                })
+            } else {
+                checker.check_all_images(&result.trace)
+            };
+            match verdict {
+                Err(_) => Outcome::CrashChecker,
+                Ok(()) => Outcome::Tolerated,
+            }
+        }
+    }
+}
+
+/// Classifies one case of one cell. Precedence: a conformance-probe
+/// detection wins outright; otherwise the crash probe (where the fault's
+/// layer warrants one) may still detect; a conformance-probe silent
+/// corruption stands only if no probe detected the fault.
+fn run_case(cmds: &[Cmd], case_seed: u64, fault: FaultInjection, arch: ArchConfig, detectors: bool) -> Outcome {
+    let conf = match fault.layer() {
+        FaultLayer::Media => None,
+        _ => Some(conformance_case(cmds, arch, fault, detectors)),
+    };
+    if let Some(o @ (Outcome::Conformance | Outcome::Watchdog | Outcome::CycleLimit)) = conf {
+        return o;
+    }
+    let crash = match fault.layer() {
+        FaultLayer::Pipeline => None,
+        _ => Some(crash_case(case_seed, arch, fault, detectors)),
+    };
+    match (conf, crash) {
+        (_, Some(o @ (Outcome::Watchdog | Outcome::CycleLimit | Outcome::CrashChecker))) => o,
+        (Some(Outcome::Silent), _) => Outcome::Silent,
+        _ => Outcome::Tolerated,
+    }
+}
+
+/// The per-case seed stream for cell `cell_index` — the master stream
+/// fast-forwarded to the cell's chunk, so every job count draws the
+/// same seeds.
+fn cell_seeds(opts: &InjectOptions, cell_index: usize) -> SplitMix64 {
+    let mut seeds = SplitMix64::new(mix64(opts.seed));
+    seeds.jump(cell_index as u64 * u64::from(opts.cases));
+    seeds
+}
+
+fn run_cell(opts: &InjectOptions, cell_index: usize, fault: FaultInjection, arch: ArchConfig) -> CellReport {
+    let mut seeds = cell_seeds(opts, cell_index);
+    let strat = cmds_strategy(opts.max_cmds);
+    let mut report = CellReport {
+        fault,
+        arch,
+        conformance: 0,
+        watchdog: 0,
+        cycle_limit: 0,
+        crash_checker: 0,
+        tolerated: 0,
+        silent: 0,
+        first_silent: None,
+    };
+    for case in 0..opts.cases {
+        let case_seed = seeds.next_u64();
+        let mut rng = SmallRng::seed_from_u64(case_seed);
+        let sh = strat.generate(&mut rng);
+        match run_case(&sh.value, case_seed, fault, arch, opts.detectors_enabled) {
+            Outcome::Conformance => report.conformance += 1,
+            Outcome::Watchdog => report.watchdog += 1,
+            Outcome::CycleLimit => report.cycle_limit += 1,
+            Outcome::CrashChecker => report.crash_checker += 1,
+            Outcome::Tolerated => report.tolerated += 1,
+            Outcome::Silent => {
+                report.silent += 1;
+                report.first_silent.get_or_insert(case);
+            }
+        }
+    }
+    if opts.progress_every > 0 {
+        eprintln!(
+            "inject: {}/{}: {} detected, {} tolerated, {} silent",
+            fault.label(),
+            arch.label(),
+            report.detected(),
+            report.tolerated,
+            report.silent
+        );
+    }
+    report
+}
+
+/// Regenerates a cell's silent case from its index and shrinks it —
+/// always on the caller's thread, so the reproducer is identical
+/// however the campaign was parallelized.
+fn silent_failure(
+    opts: &InjectOptions,
+    cell_index: usize,
+    fault: FaultInjection,
+    arch: ArchConfig,
+    case: u32,
+) -> InjectFailure {
+    let mut seeds = cell_seeds(opts, cell_index);
+    seeds.jump(u64::from(case));
+    let case_seed = seeds.next_u64();
+    let strat = cmds_strategy(opts.max_cmds);
+    let mut rng = SmallRng::seed_from_u64(case_seed);
+    let sh = strat.generate(&mut rng);
+    let detectors = opts.detectors_enabled;
+    let (cmds, shrink_steps) = minimize(sh, opts.max_shrink_iters, |cmds| {
+        conformance_case(cmds, arch, fault, detectors) == Outcome::Silent
+    });
+    let program = concretize(&cmds);
+    InjectFailure {
+        fault,
+        arch,
+        case,
+        case_seed,
+        cmds,
+        program,
+        shrink_steps,
+    }
+}
+
+/// Runs the campaign. Deterministic in `opts` — including `jobs`: cells
+/// fan out across workers, per-cell seed streams are jumps of one
+/// master stream, and the first silent case (in cell order) is
+/// regenerated and shrunk sequentially, so every job count yields the
+/// same [`InjectReport`] bit for bit.
+pub fn inject(opts: &InjectOptions) -> InjectReport {
+    let cells: Vec<(FaultInjection, ArchConfig)> = opts
+        .faults
+        .iter()
+        .flat_map(|&f| opts.archs.iter().map(move |&a| (f, a)))
+        .collect();
+    let reports = ede_util::pool::par_map_indexed(opts.jobs, &cells, |i, &(fault, arch)| {
+        run_cell(opts, i, fault, arch)
+    });
+    let failure = reports.iter().enumerate().find_map(|(i, r)| {
+        r.first_silent
+            .map(|case| silent_failure(opts, i, r.fault, r.arch, case))
+    });
+    InjectReport {
+        seed: opts.seed,
+        cases: opts.cases,
+        detectors_enabled: opts.detectors_enabled,
+        cells: reports,
+        failure,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_faults_are_covered() {
+        let report = inject(&InjectOptions {
+            cases: 2,
+            max_cmds: 20,
+            faults: vec![FaultInjection::DropEdeps, FaultInjection::WeakDsb],
+            ..InjectOptions::default()
+        });
+        assert_eq!(report.cells.len(), 6);
+        assert!(report.all_covered(), "{report:?}");
+        // Every fault must be caught on at least one architecture — a
+        // sweep where nothing ever detects anything proves nothing.
+        for fault in [FaultInjection::DropEdeps, FaultInjection::WeakDsb] {
+            let caught: u32 = report
+                .cells
+                .iter()
+                .filter(|c| c.fault == fault)
+                .map(CellReport::detected)
+                .sum();
+            assert!(caught > 0, "{fault:?} never detected: {report:?}");
+        }
+    }
+
+    #[test]
+    fn stuck_cvap_trips_the_watchdog() {
+        let report = inject(&InjectOptions {
+            cases: 3,
+            faults: vec![FaultInjection::StuckCvap { nth: 0 }],
+            archs: vec![ArchConfig::WriteBuffer],
+            ..InjectOptions::default()
+        });
+        assert!(report.all_covered(), "{report:?}");
+        assert!(report.cells[0].watchdog > 0, "{report:?}");
+    }
+
+    #[test]
+    fn media_faults_reach_the_crash_checker() {
+        let report = inject(&InjectOptions {
+            cases: 3,
+            faults: vec![
+                FaultInjection::BitFlipLogEntry,
+                FaultInjection::TornWordWrite,
+                FaultInjection::StuckLine,
+            ],
+            archs: vec![ArchConfig::Baseline],
+            ..InjectOptions::default()
+        });
+        assert!(report.all_covered(), "{report:?}");
+        let caught: u32 = report.cells.iter().map(|c| c.crash_checker).sum();
+        assert!(caught > 0, "some corruption must cost data: {report:?}");
+    }
+
+    #[test]
+    fn disabled_detectors_fail_the_campaign_with_a_reproducer() {
+        let report = inject(&InjectOptions {
+            cases: 6,
+            max_cmds: 30,
+            faults: vec![FaultInjection::TornStp],
+            archs: vec![ArchConfig::Baseline],
+            detectors_enabled: false,
+            ..InjectOptions::default()
+        });
+        assert!(!report.all_covered());
+        let failure = report.failure.expect("undetected corruption must surface");
+        assert!(!failure.cmds.is_empty());
+        assert!(
+            conformance_case(&failure.cmds, failure.arch, failure.fault, false)
+                == Outcome::Silent,
+            "the shrunk reproducer still corrupts silently"
+        );
+    }
+
+    #[test]
+    fn report_is_identical_for_every_job_count() {
+        let opts = InjectOptions {
+            cases: 1,
+            max_cmds: 15,
+            faults: vec![FaultInjection::WeakDsb, FaultInjection::TornStp],
+            jobs: 1,
+            ..InjectOptions::default()
+        };
+        let base = inject(&opts);
+        for jobs in [2, 4] {
+            let report = inject(&InjectOptions { jobs, ..opts.clone() });
+            assert_eq!(report, base, "jobs {jobs}");
+            assert_eq!(report.to_json(), base.to_json(), "jobs {jobs}");
+        }
+    }
+
+    #[test]
+    fn json_matrix_shape() {
+        let report = inject(&InjectOptions {
+            cases: 1,
+            max_cmds: 12,
+            faults: vec![FaultInjection::DropEdeps],
+            archs: vec![ArchConfig::Baseline],
+            ..InjectOptions::default()
+        });
+        let json = report.to_json();
+        assert!(json.contains("\"fault\": \"drop-edeps\""));
+        assert!(json.contains("\"layer\": \"pipeline\""));
+        assert!(json.contains("\"arch\": \"B\""));
+        assert!(json.contains("\"covered\": true"));
+    }
+}

@@ -22,6 +22,12 @@
 //!   golden model.
 //! * [`fuzz`] — the differential driver tying the three together across
 //!   `ArchConfig`s, used by the `ede-sim fuzz` CLI and the CI smoke job.
+//! * [`inject`] — the fault-injection campaign: sweeps the
+//!   [`FaultInjection`](ede_mem::FaultInjection) taxonomy across
+//!   architectures and asserts every fault is detected (conformance
+//!   axioms, crash checker, or pipeline watchdog) or provably
+//!   tolerated, emitting a JSON detection-coverage matrix
+//!   (`ede-sim inject`).
 //!
 //! # Example
 //!
@@ -39,8 +45,10 @@ pub mod conform;
 pub mod fuzz;
 pub mod gen;
 pub mod golden;
+pub mod inject;
 
 pub use conform::check_run;
 pub use fuzz::{fuzz, FuzzFailure, FuzzOptions, FuzzReport};
 pub use gen::{cmd_strategy, cmds_strategy, concretize, Cmd};
 pub use golden::{GoldenConfig, GoldenError, GoldenRun};
+pub use inject::{inject, CellReport, InjectFailure, InjectOptions, InjectReport};

@@ -2,25 +2,11 @@
 
 use ede_core::EnforcementPoint;
 
-/// Deliberate pipeline bugs for exercising the conformance checker.
-///
-/// The differential fuzzer in `ede-check` needs a way to prove it can
-/// catch a broken pipeline, not just bless a correct one. Each variant
-/// disables one enforcement mechanism; the resulting violations must be
-/// detected by the ordering axioms and shrunk to a minimal reproducer.
-/// Never set in real experiments.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum FaultInjection {
-    /// Drop EDE execution dependences entirely: decode still consults the
-    /// EDM, but consumers are never registered against their producers
-    /// (no issue-queue blocking, no write-buffer source tags, no
-    /// `WAIT_KEY`/`WAIT_ALL_KEYS` blocking).
-    DropEdeps,
-    /// Weaken `DSB SY` to retire without waiting for older instructions
-    /// to complete — younger memory operations can then take effect
-    /// before older persists finish.
-    WeakDsb,
-}
+// The taxonomy is shared with the memory system: one enum, defined in
+// `ede-mem` (the lowest crate both injection sites see), covers
+// pipeline, memory-system, and media faults. The pipeline reacts only
+// to its own variants and ignores the rest.
+pub use ede_mem::fault::{FaultInjection, FaultLayer};
 
 /// Out-of-order core parameters.
 ///
@@ -76,6 +62,15 @@ pub struct CpuConfig {
     /// Deliberate pipeline bug for conformance-checker self-tests; `None`
     /// (always, outside `ede-check`) models the hardware faithfully.
     pub fault: Option<FaultInjection>,
+    /// Pipeline watchdog: if no instruction retires for this many
+    /// consecutive cycles, [`Core::run`](crate::Core::run) aborts with a
+    /// structured [`CoreError::Deadlock`](crate::CoreError::Deadlock)
+    /// diagnosis instead of spinning until the cycle limit. `0` disables
+    /// the watchdog. The default (500k cycles) is more than an order of
+    /// magnitude above the longest legitimate retirement gap a full
+    /// 128-slot persist buffer can cause (~32k cycles), and orders of
+    /// magnitude below the experiment cycle limits it protects.
+    pub watchdog_cycles: u64,
 }
 
 impl CpuConfig {
@@ -96,6 +91,7 @@ impl CpuConfig {
             enforcement: None,
             edm_branch_checkpoints: false,
             fault: None,
+            watchdog_cycles: 500_000,
         }
     }
 

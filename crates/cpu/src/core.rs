@@ -7,7 +7,7 @@ use crate::stats::IssueHistogram;
 use crate::wb::{WbKind, WriteBuffer};
 use ede_core::ordering::InstTiming;
 use ede_core::{EnforcementPoint, InFlightEde, SpeculativeEdm};
-use ede_isa::{Inst, InstId, InstKind, Op, Program, Reg};
+use ede_isa::{Edk, Inst, InstId, InstKind, Op, Program, Reg};
 use ede_mem::{ReqId, ReqKind};
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap, HashMap, VecDeque};
@@ -57,6 +57,43 @@ impl RunStats {
     }
 }
 
+/// The resource a deadlocked instruction is blocked on, as diagnosed by
+/// the pipeline watchdog.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WaitCause {
+    /// Waiting for the producers of one EDE key to complete
+    /// (`WAIT_KEY`, or a consumer's decoded dependence).
+    EdeKey(Edk),
+    /// Waiting for every outstanding EDE key (`WAIT_ALL_KEYS`).
+    AllKeys,
+    /// Waiting for one specific producer instruction to complete.
+    Producer(InstId),
+    /// Waiting for an older instruction to complete (`DSB SY`).
+    OlderIncomplete(InstId),
+    /// Waiting for a free write-buffer slot.
+    WriteBufferFull,
+    /// Waiting for a memory response that never arrived.
+    MemoryResponse,
+    /// The blocking resource could not be identified.
+    Unknown,
+}
+
+impl fmt::Display for WaitCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WaitCause::EdeKey(k) => write!(f, "EDE key k{}", k.index()),
+            WaitCause::AllKeys => write!(f, "all outstanding EDE keys"),
+            WaitCause::Producer(id) => write!(f, "producer instruction #{}", id.0),
+            WaitCause::OlderIncomplete(id) => {
+                write!(f, "older incomplete instruction #{}", id.0)
+            }
+            WaitCause::WriteBufferFull => write!(f, "a free write-buffer slot"),
+            WaitCause::MemoryResponse => write!(f, "a memory response that never arrived"),
+            WaitCause::Unknown => write!(f, "an unidentified resource"),
+        }
+    }
+}
+
 /// Why a run failed.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum CoreError {
@@ -68,6 +105,26 @@ pub enum CoreError {
         /// Instructions retired by then.
         retired: u64,
     },
+    /// The watchdog fired: no instruction retired for
+    /// [`CpuConfig::watchdog_cycles`] consecutive cycles. Carries the
+    /// diagnosis of the oldest blocked instruction.
+    Deadlock {
+        /// Cycle at which the watchdog gave up.
+        at: u64,
+        /// Instructions retired by then.
+        retired: u64,
+        /// The last cycle anything retired (or drained post-retirement).
+        last_retire: u64,
+        /// The oldest blocked instruction, if one could be identified.
+        inst: Option<InstId>,
+        /// Mnemonic of the blocked instruction (e.g. `"WAIT_KEY"`).
+        op: &'static str,
+        /// The pipeline stage it is stuck at (`"issue"`, `"retire"`,
+        /// `"execute"`, `"write-buffer"`).
+        stage: &'static str,
+        /// The resource it waits on.
+        cause: WaitCause,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -77,11 +134,56 @@ impl fmt::Display for CoreError {
                 f,
                 "cycle limit reached at cycle {at} with {retired} instructions retired"
             ),
+            CoreError::Deadlock {
+                at,
+                retired,
+                last_retire,
+                inst,
+                op,
+                stage,
+                cause,
+            } => {
+                write!(
+                    f,
+                    "pipeline deadlock at cycle {at} ({retired} retired, \
+                     no progress since cycle {last_retire}): "
+                )?;
+                match inst {
+                    Some(id) => write!(
+                        f,
+                        "oldest blocked instruction #{} ({op}) is stuck at \
+                         {stage}, waiting on {cause}",
+                        id.0
+                    ),
+                    None => write!(f, "no blocked instruction identified"),
+                }
+            }
         }
     }
 }
 
 impl std::error::Error for CoreError {}
+
+/// Short mnemonic for an operation (deadlock diagnostics).
+fn op_name(op: &Op) -> &'static str {
+    match op {
+        Op::Mov { .. } => "MOV",
+        Op::Add { .. } => "ADD",
+        Op::Cmp { .. } => "CMP",
+        Op::Ldr { .. } => "LDR",
+        Op::Str { .. } => "STR",
+        Op::Stp { .. } => "STP",
+        Op::DcCvap { .. } => "DC CVAP",
+        Op::DsbSy => "DSB SY",
+        Op::DmbSt => "DMB ST",
+        Op::DmbSy => "DMB SY",
+        Op::Join { .. } => "JOIN",
+        Op::WaitKey { .. } => "WAIT_KEY",
+        Op::WaitAllKeys => "WAIT_ALL_KEYS",
+        Op::Branch { .. } => "B.COND",
+        Op::Nop => "NOP",
+    }
+}
 
 /// Pipeline state of one dynamic instruction.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Default)]
@@ -159,6 +261,9 @@ pub struct Core<M> {
     squashes: u64,
     stalls: StallStats,
     observer: Option<PipeObserver>,
+    /// EDE source edges decoded so far (occurrence index for the
+    /// `DropOneEdep` fault).
+    edep_edge_count: u32,
 }
 
 impl<M: MemPort> Core<M> {
@@ -167,6 +272,10 @@ impl<M: MemPort> Core<M> {
         let n = program.len();
         let issue_width = cfg.issue_width;
         let wb_entries = cfg.wb_entries;
+        let mut wbuf = WriteBuffer::new(wb_entries);
+        if cfg.fault == Some(FaultInjection::ReorderWriteBuffer) {
+            wbuf.set_reorder_same_line(true);
+        }
         Core {
             cfg,
             program,
@@ -179,7 +288,7 @@ impl<M: MemPort> Core<M> {
             iq: Vec::new(),
             lq_used: 0,
             sq_used: 0,
-            wbuf: WriteBuffer::new(wb_entries),
+            wbuf,
             slots: vec![Slot::default(); n],
             scoreboard: HashMap::new(),
             reg_waiters: HashMap::new(),
@@ -202,6 +311,95 @@ impl<M: MemPort> Core<M> {
             squashes: 0,
             stalls: StallStats::default(),
             observer: None,
+            edep_edge_count: 0,
+        }
+    }
+
+    /// A cheap digest of everything the machine can make forward
+    /// progress on; the watchdog declares deadlock only after this stays
+    /// unchanged for a whole window (so a long post-retirement persist
+    /// drain does not trip it).
+    fn progress_signature(&self) -> (u64, usize, usize, usize) {
+        (
+            self.retired,
+            self.incomplete.len(),
+            self.wbuf.len(),
+            self.fetch_ptr,
+        )
+    }
+
+    /// Builds the structured deadlock diagnosis the watchdog reports:
+    /// the oldest blocked instruction, the stage it is stuck at, and the
+    /// resource it waits on.
+    fn diagnose_deadlock(&self, last_retire: u64) -> CoreError {
+        let wb_mode = self.cfg.enforcement == Some(EnforcementPoint::WriteBuffer);
+        let (inst, op, stage, cause) = if let Some(&id) = self.rob.front() {
+            let inst = self.inst(id);
+            let slot = &self.slots[id.index()];
+            let executed = slot.state >= State::Executed;
+            let (stage, cause) = match inst.op {
+                Op::DsbSy if executed => (
+                    "retire",
+                    match self.incomplete.range(..id).next() {
+                        Some(&w) => WaitCause::OlderIncomplete(w),
+                        None => WaitCause::Unknown,
+                    },
+                ),
+                Op::WaitKey { key } if wb_mode && executed => ("retire", WaitCause::EdeKey(key)),
+                Op::WaitAllKeys if wb_mode && executed => ("retire", WaitCause::AllKeys),
+                Op::Str { .. } | Op::Stp { .. } | Op::DcCvap { .. } | Op::Join { .. }
+                    if executed && !self.wbuf.has_space() =>
+                {
+                    ("retire", WaitCause::WriteBufferFull)
+                }
+                Op::WaitKey { key } if slot.state == State::InIq => {
+                    ("issue", WaitCause::EdeKey(key))
+                }
+                Op::WaitAllKeys if slot.state == State::InIq => ("issue", WaitCause::AllKeys),
+                _ => match slot.state {
+                    State::WaitMem => ("execute", WaitCause::MemoryResponse),
+                    State::InIq => (
+                        "issue",
+                        slot.edep_srcs
+                            .iter()
+                            .flatten()
+                            .find(|s| self.incomplete.contains(s))
+                            .map(|&s| WaitCause::Producer(s))
+                            .unwrap_or(WaitCause::Unknown),
+                    ),
+                    _ => ("retire", WaitCause::Unknown),
+                },
+            };
+            (Some(id), op_name(&inst.op), stage, cause)
+        } else if let Some(&id) = self.incomplete.first() {
+            // Nothing left in the ROB: the hang is a retired entry that
+            // never completed — a write-buffer resident blocked on a
+            // source tag, or one whose memory response never arrived.
+            let cause = self
+                .wbuf
+                .entries()
+                .iter()
+                .find(|e| e.id == id)
+                .and_then(|e| e.srcs.iter().flatten().next().copied())
+                .map(WaitCause::Producer)
+                .unwrap_or(WaitCause::MemoryResponse);
+            (
+                Some(id),
+                op_name(&self.inst(id).op),
+                "write-buffer",
+                cause,
+            )
+        } else {
+            (None, "?", "?", WaitCause::Unknown)
+        };
+        CoreError::Deadlock {
+            at: self.now,
+            retired: self.retired,
+            last_retire,
+            inst,
+            op,
+            stage,
+            cause,
         }
     }
 
@@ -242,8 +440,15 @@ impl<M: MemPort> Core<M> {
     ///
     /// # Errors
     ///
-    /// [`CoreError::CycleLimit`] if the limit is hit first.
+    /// [`CoreError::CycleLimit`] if the limit is hit first;
+    /// [`CoreError::Deadlock`] if the watchdog
+    /// ([`CpuConfig::watchdog_cycles`]) sees no pipeline progress — no
+    /// retirement, completion, or write-buffer drain — for its whole
+    /// window, with a diagnosis of the oldest blocked instruction.
     pub fn run(&mut self, max_cycles: u64) -> Result<RunStats, CoreError> {
+        let watchdog = self.cfg.watchdog_cycles;
+        let mut last_progress = self.now;
+        let mut signature = self.progress_signature();
         while !self.finished() {
             if self.now >= max_cycles {
                 return Err(CoreError::CycleLimit {
@@ -252,6 +457,13 @@ impl<M: MemPort> Core<M> {
                 });
             }
             self.tick();
+            let sig = self.progress_signature();
+            if sig != signature {
+                signature = sig;
+                last_progress = self.now;
+            } else if watchdog > 0 && self.now - last_progress >= watchdog {
+                return Err(self.diagnose_deadlock(last_progress));
+            }
         }
         Ok(RunStats {
             cycles: self.now,
@@ -905,6 +1117,15 @@ impl<M: MemPort> Core<M> {
             if self.cfg.fault == Some(FaultInjection::DropEdeps) {
                 srcs.clear();
             }
+            // Fault injection: exactly one decoded edge is lost (a single
+            // missed wakeup, not a wholesale broken tracker).
+            if let Some(FaultInjection::DropOneEdep { nth }) = self.cfg.fault {
+                srcs.retain(|_| {
+                    let n = self.edep_edge_count;
+                    self.edep_edge_count += 1;
+                    n != nth
+                });
+            }
             {
                 let slot = &mut self.slots[id.index()];
                 for (i, s) in srcs.iter().take(2).enumerate() {
@@ -1451,6 +1672,108 @@ mod tests {
         let err = core.run(3).unwrap_err();
         assert!(matches!(err, CoreError::CycleLimit { .. }));
         assert!(err.to_string().contains("cycle limit"));
+    }
+
+    #[test]
+    fn watchdog_names_wait_key_deadlock() {
+        // A stuck DC CVAP never acknowledges, so the WAIT_KEY on its key
+        // can never retire under WB enforcement. The watchdog must end
+        // the run well under the cycle limit and name both the waiting
+        // instruction and the key.
+        let mut b = TraceBuilder::new();
+        let k = Edk::new(3).unwrap();
+        let nvm = 0x1_0000_0000;
+        b.store(nvm, 7);
+        b.cvap_producing(nvm, k);
+        b.wait_key(k);
+        let p = b.finish();
+        let mut cfg = CpuConfig::a72().with_enforcement(EnforcementPoint::WriteBuffer);
+        cfg.watchdog_cycles = 10_000;
+        let mut mem_cfg = ede_mem::MemConfig::a72_hybrid();
+        mem_cfg.fault = Some(FaultInjection::StuckCvap { nth: 0 });
+        let mut core = Core::new(cfg, p.clone(), ede_mem::MemSystem::new(mem_cfg));
+        let err = core.run(2_000_000_000).unwrap_err();
+        let CoreError::Deadlock {
+            at,
+            inst,
+            op,
+            stage,
+            cause,
+            ..
+        } = err
+        else {
+            panic!("expected a deadlock, got {err:?}");
+        };
+        assert!(at < 100_000, "watchdog fired at cycle {at}, far too late");
+        let wait = p
+            .iter()
+            .find(|(_, i)| matches!(i.op, Op::WaitKey { .. }))
+            .unwrap()
+            .0;
+        assert_eq!(inst, Some(wait));
+        assert_eq!(op, "WAIT_KEY");
+        assert_eq!(stage, "retire");
+        assert_eq!(cause, WaitCause::EdeKey(k));
+        assert!(err.to_string().contains("WAIT_KEY"));
+        assert!(err.to_string().contains("k3"));
+    }
+
+    #[test]
+    fn watchdog_diagnoses_dsb_hang() {
+        // Baseline shape: the DSB SY waits for the stuck persist ack.
+        let mut b = TraceBuilder::new();
+        let nvm = 0x1_0000_0000;
+        b.store(nvm, 7);
+        b.cvap(nvm);
+        b.dsb_sy();
+        b.mov_imm(1);
+        let p = b.finish();
+        let mut cfg = CpuConfig::a72();
+        cfg.watchdog_cycles = 10_000;
+        let mut mem_cfg = ede_mem::MemConfig::a72_hybrid();
+        mem_cfg.fault = Some(FaultInjection::StuckCvap { nth: 0 });
+        let mut core = Core::new(cfg, p.clone(), ede_mem::MemSystem::new(mem_cfg));
+        let err = core.run(2_000_000_000).unwrap_err();
+        let CoreError::Deadlock { op, cause, .. } = err else {
+            panic!("expected a deadlock, got {err:?}");
+        };
+        assert_eq!(op, "DSB SY");
+        let cvap = p
+            .iter()
+            .find(|(_, i)| i.kind() == InstKind::Writeback)
+            .unwrap()
+            .0;
+        assert_eq!(cause, WaitCause::OlderIncomplete(cvap));
+    }
+
+    #[test]
+    fn watchdog_disabled_falls_back_to_cycle_limit() {
+        let mut b = TraceBuilder::new();
+        let nvm = 0x1_0000_0000;
+        b.store(nvm, 7);
+        b.cvap(nvm);
+        b.dsb_sy();
+        let mut cfg = CpuConfig::a72();
+        cfg.watchdog_cycles = 0;
+        let mut mem_cfg = ede_mem::MemConfig::a72_hybrid();
+        mem_cfg.fault = Some(FaultInjection::StuckCvap { nth: 0 });
+        let mut core = Core::new(cfg, b.finish(), ede_mem::MemSystem::new(mem_cfg));
+        let err = core.run(50_000).unwrap_err();
+        assert!(matches!(err, CoreError::CycleLimit { .. }));
+    }
+
+    #[test]
+    fn drop_one_edep_unblocks_exactly_one_consumer() {
+        // Two producer→consumer pairs; dropping edge 0 must break the
+        // first pair's ordering while the second stays enforced.
+        let p = two_update_trace(true, false);
+        let mut cfg = CpuConfig::a72().with_enforcement(EnforcementPoint::IssueQueue);
+        cfg.fault = Some(FaultInjection::DropOneEdep { nth: 0 });
+        let mem = FixedLatencyMem::new(LOAD_LAT, ACK_LAT);
+        let mut core = Core::new(cfg, p.clone(), mem);
+        let stats = core.run(1_000_000).expect("terminates");
+        let v = ede_core::ordering::check_execution_deps(&p, &stats.timings);
+        assert_eq!(v.len(), 1, "exactly one violated dependence, got {v:?}");
     }
 
     #[test]

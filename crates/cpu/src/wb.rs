@@ -97,6 +97,7 @@ pub struct WbEntry {
 pub struct WriteBuffer {
     entries: Vec<WbEntry>,
     capacity: usize,
+    reorder_same_line: bool,
 }
 
 impl WriteBuffer {
@@ -105,7 +106,16 @@ impl WriteBuffer {
         WriteBuffer {
             entries: Vec::new(),
             capacity,
+            reorder_same_line: false,
         }
+    }
+
+    /// Fault injection (`ReorderWriteBuffer`): disable the same-line
+    /// program-order drain rule, letting a `DC CVAP` overtake the store
+    /// it is supposed to persist. Only the conformance self-tests set
+    /// this.
+    pub fn set_reorder_same_line(&mut self, on: bool) {
+        self.reorder_same_line = on;
     }
 
     /// Whether another entry fits.
@@ -183,7 +193,7 @@ impl WriteBuffer {
                     .addr()
                     .is_some_and(|a| a / line_bytes == line)
             });
-            if same_line_older {
+            if same_line_older && !self.reorder_same_line {
                 continue;
             }
             out.push(e.id);
@@ -320,6 +330,16 @@ mod tests {
         // Barrier token now completes, releasing the younger store.
         assert_eq!(wb.take_finished_controls(), vec![InstId(1)]);
         assert!(wb.drainable(64).contains(&InstId(2)));
+    }
+
+    #[test]
+    fn reorder_fault_breaks_same_line_order() {
+        let mut wb = WriteBuffer::new(4);
+        wb.set_reorder_same_line(true);
+        wb.push(InstId(0), store(0x40), [None, None]);
+        wb.push(InstId(1), WbKind::Cvap { addr: 0x48 }, [None, None]);
+        // The faulty buffer lets the CVAP overtake its own store.
+        assert_eq!(wb.drainable(64), vec![InstId(0), InstId(1)]);
     }
 
     #[test]

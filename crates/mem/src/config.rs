@@ -1,5 +1,7 @@
 //! Memory-system configuration (the memory half of Table I).
 
+use crate::fault::FaultInjection;
+
 /// Geometry and latency parameters for one cache level.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct CacheConfig {
@@ -90,6 +92,9 @@ pub struct MemConfig {
     /// memory (0 disables the prefetcher; the calibrated Table I model
     /// runs without it).
     pub prefetch_next_lines: usize,
+    /// Deliberate memory-system bug to inject (checker self-test).
+    /// Pipeline and media variants are ignored by the memory system.
+    pub fault: Option<FaultInjection>,
 }
 
 impl MemConfig {
@@ -126,6 +131,7 @@ impl MemConfig {
             controller_latency: 20,
             max_outstanding: 24,
             prefetch_next_lines: 0,
+            fault: None,
         }
     }
 

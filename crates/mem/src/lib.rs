@@ -48,12 +48,14 @@
 
 pub mod cache;
 pub mod config;
+pub mod fault;
 pub mod nvm;
 pub mod stats;
 pub mod system;
 pub mod trace;
 
 pub use config::MemConfig;
+pub use fault::{FaultInjection, FaultLayer};
 pub use nvm::PersistBuffer;
 pub use stats::MemStats;
 pub use system::{MemResp, MemSystem, ReqId, ReqKind};

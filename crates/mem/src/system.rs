@@ -2,6 +2,7 @@
 
 use crate::cache::Cache;
 use crate::config::MemConfig;
+use crate::fault::FaultInjection;
 use crate::nvm::{InsertOutcome, PersistBuffer};
 use crate::stats::MemStats;
 use crate::trace::{PersistEvent, PersistTrace, StoreEvent};
@@ -91,6 +92,12 @@ pub struct MemSystem {
     next_token: u64,
     trace: PersistTrace,
     stats: MemStats,
+    /// `DC CVAP` requests seen so far (occurrence index for
+    /// [`FaultInjection::StuckCvap`]).
+    cvap_count: u32,
+    /// Persist events recorded so far (occurrence index for
+    /// [`FaultInjection::DropPersist`]).
+    persist_count: u32,
 }
 
 /// Token marking persist-buffer writes with no waiting requester
@@ -113,8 +120,27 @@ impl MemSystem {
             next_token: 0,
             trace: PersistTrace::default(),
             stats: MemStats::default(),
+            cvap_count: 0,
+            persist_count: 0,
             cfg,
         }
+    }
+
+    /// Records a persist event, applying the persist-stream faults
+    /// ([`FaultInjection::DropPersist`] suppresses the `nth` event but
+    /// the requester is still acknowledged;
+    /// [`FaultInjection::DuplicatePersist`] records every event twice).
+    fn note_persist(&mut self, cycle: u64, line: u64) {
+        let n = self.persist_count;
+        self.persist_count += 1;
+        match self.cfg.fault {
+            Some(FaultInjection::DropPersist { nth }) if nth == n => return,
+            Some(FaultInjection::DuplicatePersist) => {
+                self.trace.record_persist(PersistEvent { cycle, line });
+            }
+            _ => {}
+        }
+        self.trace.record_persist(PersistEvent { cycle, line });
     }
 
     /// Whether a new request would currently be accepted.
@@ -146,6 +172,14 @@ impl MemSystem {
             ReqKind::StoreDrain { value, width } => {
                 self.stats.store_drains += 1;
                 let lat = self.walk(addr, true, now);
+                // TornStp: only the first half of a 16-byte store pair
+                // becomes visible (and thus persistable).
+                let (width, value) =
+                    if width == 16 && self.cfg.fault == Some(FaultInjection::TornStp) {
+                        (8, [value[0], 0])
+                    } else {
+                        (width, value)
+                    };
                 self.trace.record_store(StoreEvent {
                     cycle: now + lat,
                     addr,
@@ -156,6 +190,17 @@ impl MemSystem {
             }
             ReqKind::Cvap => {
                 self.stats.cvaps += 1;
+                let n = self.cvap_count;
+                self.cvap_count += 1;
+                if self.cfg.fault == Some(FaultInjection::StuckCvap { nth: n }) {
+                    // The request vanishes in the controller: never
+                    // acknowledged, never persisted. The requester waits
+                    // forever — the pipeline watchdog's job. It no longer
+                    // counts as outstanding here: no response will retire
+                    // it, and the memory system itself stays drainable.
+                    self.outstanding -= 1;
+                    return Some(id);
+                }
                 let line = self.cfg.line_of(addr);
                 let was_dirty = {
                     let d1 = self.l1.clean_line(line);
@@ -176,10 +221,16 @@ impl MemSystem {
                     }
                     match outcome {
                         InsertOutcome::Persisted => {
-                            self.trace.record_persist(PersistEvent {
-                                cycle: ack_at,
-                                line,
-                            });
+                            // EarlyCleanAck: the acknowledgement leaves at
+                            // ack_at regardless, but the line only reaches
+                            // the persistent domain a media write later.
+                            let persist_at =
+                                if self.cfg.fault == Some(FaultInjection::EarlyCleanAck) {
+                                    ack_at + self.cfg.nvm_write_latency
+                                } else {
+                                    ack_at
+                                };
+                            self.note_persist(persist_at, line);
                             self.schedule(ack_at, EventKind::Resp(id, addr));
                         }
                         InsertOutcome::Queued => {
@@ -278,10 +329,7 @@ impl MemSystem {
                     self.schedule(now + self.cfg.nvm_write_latency, EventKind::MediaDone);
                 }
                 if outcome == InsertOutcome::Persisted {
-                    self.trace.record_persist(PersistEvent {
-                        cycle: now,
-                        line: ev.addr,
-                    });
+                    self.note_persist(now, ev.addr);
                 }
                 // Queued evictions persist on admission (handled in tick).
             }
@@ -312,10 +360,7 @@ impl MemSystem {
                     let result = self.buffer.media_write_done();
                     for p in result.newly_persisted {
                         let line = self.cfg.line_of(p.cache_line);
-                        self.trace.record_persist(PersistEvent {
-                            cycle: ev.cycle,
-                            line,
-                        });
+                        self.note_persist(ev.cycle, line);
                         if p.token != EVICTION_TOKEN {
                             if let Some((id, addr)) = self.waiting_cvaps.remove(&p.token) {
                                 self.outstanding -= 1;
@@ -580,6 +625,107 @@ mod tests {
         mem.try_access(ReqKind::Load, c.dram_base, 0).unwrap();
         run_until(&mut mem, 0, |r| !r.is_empty());
         assert_eq!(mem.stats().prefetches, 0);
+    }
+
+    /// Dirty an NVM line, then cvap it; returns the ack cycle.
+    fn dirty_and_cvap(mem: &mut MemSystem, addr: u64) -> u64 {
+        mem.try_access(
+            ReqKind::StoreDrain {
+                value: [7, 0],
+                width: 8,
+            },
+            addr,
+            0,
+        )
+        .unwrap();
+        let (t1, _) = run_until(mem, 0, |r| !r.is_empty());
+        mem.try_access(ReqKind::Cvap, addr, t1).unwrap();
+        let (t2, _) = run_until(mem, t1, |r| !r.is_empty());
+        t2
+    }
+
+    #[test]
+    fn torn_stp_drops_second_half() {
+        let mut c = cfg();
+        c.fault = Some(FaultInjection::TornStp);
+        let mut mem = MemSystem::new(c.clone());
+        mem.try_access(
+            ReqKind::StoreDrain {
+                value: [11, 22],
+                width: 16,
+            },
+            c.nvm_base + 0x100,
+            0,
+        )
+        .unwrap();
+        run_until(&mut mem, 0, |r| !r.is_empty());
+        let t = mem.into_trace();
+        assert_eq!(t.stores.len(), 1);
+        assert_eq!(t.stores[0].width, 8);
+        assert_eq!(t.stores[0].value, [11, 0]);
+    }
+
+    #[test]
+    fn stuck_cvap_swallows_request_but_stays_drainable() {
+        let mut c = cfg();
+        c.fault = Some(FaultInjection::StuckCvap { nth: 0 });
+        let mut mem = MemSystem::new(c.clone());
+        let addr = c.nvm_base + 0x100;
+        mem.try_access(
+            ReqKind::StoreDrain {
+                value: [7, 0],
+                width: 8,
+            },
+            addr,
+            0,
+        )
+        .unwrap();
+        let (t1, _) = run_until(&mut mem, 0, |r| !r.is_empty());
+        mem.try_access(ReqKind::Cvap, addr, t1).unwrap();
+        // No acknowledgement ever arrives, yet the system reports idle:
+        // the caller's instruction hangs, not the memory model.
+        let mut now = t1;
+        while !mem.idle() {
+            now += 1;
+            assert!(mem.tick(now).is_empty());
+            assert!(now < t1 + 100_000);
+        }
+        assert!(mem.into_trace().persists.is_empty());
+    }
+
+    #[test]
+    fn drop_persist_acks_without_persist_event() {
+        let mut c = cfg();
+        c.fault = Some(FaultInjection::DropPersist { nth: 0 });
+        let mut mem = MemSystem::new(c.clone());
+        let t2 = dirty_and_cvap(&mut mem, c.nvm_base + 0x100);
+        assert!(t2 > 0, "the requester is still acknowledged");
+        assert!(mem.into_trace().persists.is_empty());
+    }
+
+    #[test]
+    fn duplicate_persist_records_twice() {
+        let mut c = cfg();
+        c.fault = Some(FaultInjection::DuplicatePersist);
+        let mut mem = MemSystem::new(c.clone());
+        dirty_and_cvap(&mut mem, c.nvm_base + 0x100);
+        assert_eq!(mem.into_trace().persists.len(), 2);
+    }
+
+    #[test]
+    fn early_clean_ack_defers_persist_past_ack() {
+        let mut c = cfg();
+        c.fault = Some(FaultInjection::EarlyCleanAck);
+        let mut mem = MemSystem::new(c.clone());
+        let ack = dirty_and_cvap(&mut mem, c.nvm_base + 0x100);
+        let trace = mem.into_trace();
+        assert_eq!(trace.persists.len(), 1);
+        assert!(
+            trace.persists[0].cycle > ack,
+            "persist {} must land after the ack {}",
+            trace.persists[0].cycle,
+            ack
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use crate::heap::BumpHeap;
 use crate::layout::Layout;
-use crate::log::{checksum, OFF_ADDR, OFF_TXID};
+use crate::log::{checksum, header_word, OFF_ADDR, OFF_TXID};
 use crate::memory::SimMemory;
 use ede_isa::{ArchConfig, Edk, EdkPair, InstId, Program, TraceBuilder, VAddr};
 use std::collections::HashSet;
@@ -394,23 +394,26 @@ impl TxWriter {
     pub fn commit_tx(&mut self) {
         let txid = self.txid.take().expect("no open transaction");
         let header = self.layout.log_header;
+        // The marker is the self-validating header word, not the bare id:
+        // a torn or bit-flipped header then reads as "nothing committed".
+        let marker = header_word(txid);
         match self.arch {
             ArchConfig::Baseline => {
                 self.builder.dsb_sy();
-                self.builder.store(header, txid);
+                self.builder.store(header, marker);
                 self.builder.cvap(header);
                 self.builder.dsb_sy();
             }
             ArchConfig::StoreBarrierUnsafe => {
                 self.builder.dmb_st();
-                self.builder.store(header, txid);
+                self.builder.store(header, marker);
                 self.builder.cvap(header);
                 self.builder.dmb_st();
             }
             ArchConfig::IssueQueue | ArchConfig::WriteBuffer => {
                 self.builder.wait_all_keys();
                 let base = self.builder.lea(header);
-                self.builder.store_to(base, header, txid);
+                self.builder.store_to(base, header, marker);
                 let k = self.next_key();
                 self.builder
                     .cvap_to_edk(base, header, EdkPair::producer(k));
@@ -419,11 +422,11 @@ impl TxWriter {
                 self.builder.wait_key(k);
             }
             ArchConfig::Unsafe => {
-                self.builder.store(header, txid);
+                self.builder.store(header, marker);
                 self.builder.cvap(header);
             }
         }
-        self.mem.write(header, txid);
+        self.mem.write(header, marker);
         // Truncate the undo log, as PMDK does at commit: the next
         // transaction reuses the same (now cache-resident) slots. Entry
         // validity is governed by the committed txid, so no slot writes
@@ -529,7 +532,11 @@ mod tests {
         assert_eq!(out.records[0].writes, vec![(a, 10, 20), (a, 20, 30)]);
         assert_eq!(out.records[1].writes, vec![(a, 30, 40)]);
         assert_eq!(out.memory.read(a), 40);
-        assert_eq!(out.memory.read(out.layout.log_header), 2);
+        assert_eq!(out.memory.read(out.layout.log_header), header_word(2));
+        assert_eq!(
+            crate::log::decode_header(out.memory.read(out.layout.log_header)),
+            2
+        );
     }
 
     #[test]

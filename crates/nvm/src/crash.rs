@@ -55,6 +55,7 @@ pub struct CrashChecker {
     initial: HashMap<u64, u64>,
     records: Vec<TxRecord>,
     recovery: RecoveryFn,
+    jobs: usize,
 }
 
 impl CrashChecker {
@@ -72,7 +73,18 @@ impl CrashChecker {
             initial: out.init_writes.iter().copied().collect(),
             records: out.records.clone(),
             recovery,
+            jobs: 1,
         }
+    }
+
+    /// Sets the worker threads [`check_all_images`](Self::check_all_images)
+    /// spreads its crash instants over: 0 = auto (`EDE_JOBS` or the host
+    /// parallelism), 1 = sequential (the default — callers that already
+    /// run inside a worker pool should keep it). The verdict is identical
+    /// for every value.
+    pub fn with_jobs(mut self, jobs: usize) -> CrashChecker {
+        self.jobs = jobs;
+        self
     }
 
     /// The functional value every tracked address should hold after the
@@ -109,7 +121,27 @@ impl CrashChecker {
     ///
     /// The first [`ConsistencyError`] found.
     pub fn check_at(&self, trace: &PersistTrace, cycle: u64) -> Result<u64, ConsistencyError> {
+        self.check_at_mutated(trace, cycle, &|_| {})
+    }
+
+    /// Like [`check_at`](Self::check_at), but applies `mutate` to the
+    /// reconstructed crash image *before* recovery runs — the
+    /// fault-injection campaign's hook for media faults (bit flips, torn
+    /// words, stuck lines). A corruption recovery cannot mask surfaces
+    /// as a [`ConsistencyError`]; one it rejects or that lands on unused
+    /// words leaves the verdict unchanged.
+    ///
+    /// # Errors
+    ///
+    /// The first [`ConsistencyError`] found.
+    pub fn check_at_mutated(
+        &self,
+        trace: &PersistTrace,
+        cycle: u64,
+        mutate: &dyn Fn(&mut NvmImage),
+    ) -> Result<u64, ConsistencyError> {
         let mut image: NvmImage = nvm_image_at(trace, cycle, 64);
+        mutate(&mut image);
         let result = (self.recovery)(&mut image, &self.layout);
         let k = result.committed_txid.min(self.records.len() as u64);
         let expected = self.expected_after(k);
@@ -139,21 +171,42 @@ impl CrashChecker {
     /// at each persist cycle (plus the instants just before the first and
     /// after the last) covers *every* possible crash instant.
     ///
+    /// The instants are independent, so they fan out across
+    /// [`with_jobs`](Self::with_jobs) workers; outcomes are merged in
+    /// cycle order, so the reported violation is the earliest-cycle one
+    /// for every job count.
+    ///
     /// # Errors
     ///
-    /// The first violating `(cycle, error)` pair.
+    /// The first violating `(cycle, error)` pair, in cycle order.
     pub fn check_all_images(&self, trace: &PersistTrace) -> Result<(), (u64, ConsistencyError)> {
+        self.check_all_images_mutated(trace, &|_, _| {})
+    }
+
+    /// [`check_all_images`](Self::check_all_images) with a per-instant
+    /// media-corruption hook: `mutate(cycle, image)` runs on each
+    /// reconstructed image before recovery.
+    ///
+    /// # Errors
+    ///
+    /// The first violating `(cycle, error)` pair, in cycle order.
+    pub fn check_all_images_mutated(
+        &self,
+        trace: &PersistTrace,
+        mutate: &(dyn Fn(u64, &mut NvmImage) + Sync),
+    ) -> Result<(), (u64, ConsistencyError)> {
         let mut cycles: Vec<u64> = trace.persists.iter().map(|p| p.cycle).collect();
         cycles.push(0);
         cycles.push(trace.horizon() + 1);
         cycles.sort_unstable();
         cycles.dedup();
-        for c in cycles {
-            if let Err(e) = self.check_at(trace, c) {
-                return Err((c, e));
-            }
-        }
-        Ok(())
+        ede_util::pool::par_map_indexed(self.jobs, &cycles, |_, &c| {
+            self.check_at_mutated(trace, c, &|image| mutate(c, image))
+                .map_err(|e| (c, e))
+        })
+        .into_iter()
+        .collect::<Result<Vec<u64>, _>>()
+        .map(|_| ())
     }
 
     /// Checks a set of crash instants, returning every violation.
@@ -241,7 +294,7 @@ mod tests {
         let (out, a) = simple_output();
         let layout = out.layout;
         let slot = layout.slot_addr(0);
-        use crate::log::{checksum, OFF_ADDR, OFF_TXID};
+        use crate::log::{checksum, header_word, OFF_ADDR, OFF_TXID};
         // Proper order: init, log entry, data, commit header.
         let trace = synthetic_trace(&[
             (a, 5, true),                         // init value persisted
@@ -250,7 +303,7 @@ mod tests {
             (slot + OFF_TXID, 1, false),
             (slot + OFF_TXID + 8, checksum(a, 5, 1), true), // entry persisted
             (a, 6, true),                         // data persisted
-            (layout.log_header, 1, true),         // commit persisted
+            (layout.log_header, header_word(1), true), // commit persisted
         ]);
         let checker = CrashChecker::new(&out);
         // Every instant from after init persist to the end is consistent.
@@ -285,15 +338,64 @@ mod tests {
         let (out, a) = simple_output();
         let layout = out.layout;
         // Header persisted (claims committed) but data never persisted.
+        use crate::log::header_word;
         let trace = synthetic_trace(&[
             (a, 5, true),
-            (layout.log_header, 1, true), // commit marker raced ahead
+            (layout.log_header, header_word(1), true), // commit marker raced ahead
         ]);
         let checker = CrashChecker::new(&out);
         let err = checker.check_at(&trace, trace.horizon()).unwrap_err();
         assert_eq!(err.addr, a);
         assert_eq!(err.expected, 6); // committed ⇒ new value required
         assert_eq!(err.found, 5);
+    }
+
+    #[test]
+    fn check_all_images_verdict_is_identical_for_every_job_count() {
+        let (out, a) = simple_output();
+        // Data persisted with no log entry: a violation exists.
+        let trace = synthetic_trace(&[(a, 5, true), (a, 6, true)]);
+        let base = CrashChecker::new(&out).check_all_images(&trace);
+        assert!(base.is_err());
+        for jobs in [2, 4] {
+            let r = CrashChecker::new(&out)
+                .with_jobs(jobs)
+                .check_all_images(&trace);
+            assert_eq!(r, base, "jobs {jobs}");
+        }
+    }
+
+    #[test]
+    fn media_mutation_hook_feeds_recovery() {
+        let (out, a) = simple_output();
+        let layout = out.layout;
+        let slot = layout.slot_addr(0);
+        use crate::log::{checksum, header_word, OFF_ADDR, OFF_TXID};
+        let trace = synthetic_trace(&[
+            (a, 5, true),
+            (slot + OFF_ADDR, a, false),
+            (slot + OFF_ADDR + 8, 5, false),
+            (slot + OFF_TXID, 1, false),
+            (slot + OFF_TXID + 8, checksum(a, 5, 1), true),
+            (a, 6, true),
+            (layout.log_header, header_word(1), true),
+        ]);
+        let checker = CrashChecker::new(&out);
+        // Corrupting a word no transaction tracks is tolerated.
+        checker
+            .check_all_images_mutated(&trace, &|_, image| {
+                image.insert(layout.heap_base + 0x800, 0xDEAD);
+            })
+            .expect("untracked corruption is tolerated");
+        // Corrupting the data word itself is detected.
+        let err = checker
+            .check_all_images_mutated(&trace, &|_, image| {
+                if let Some(w) = image.get_mut(&a) {
+                    *w ^= 1;
+                }
+            })
+            .expect_err("corrupted data word must surface");
+        assert_eq!(err.1.addr, a);
     }
 
     #[test]

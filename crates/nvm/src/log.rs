@@ -14,6 +14,12 @@
 //! transaction id is newer than the last committed id in the log header.
 //! Committing is therefore a single persisted store of the transaction id
 //! to the header — no log truncation writes are needed.
+//!
+//! The header word is itself self-validating ([`header_word`] /
+//! [`decode_header`]): the committed id occupies the low 32 bits and a
+//! checksum of it the high 32, so a torn header write or a media bit
+//! flip reads back as "nothing committed" instead of a bogus id that
+//! would silently skip rollbacks.
 
 /// Byte offset of the target-address field.
 pub const OFF_ADDR: u64 = 0;
@@ -59,6 +65,46 @@ pub fn checksum(addr: u64, old: u64, txid: u64) -> u64 {
         ^ old.rotate_left(31)
         ^ txid.wrapping_mul(GOLDEN)
         ^ 0xEDE0_EDE0_EDE0_EDE0
+}
+
+fn header_checksum(txid: u64) -> u64 {
+    (txid.wrapping_mul(0x9E37_79B9) ^ 0xEDE0_4A7C) & 0xFFFF_FFFF
+}
+
+/// Encodes a committed transaction id as the self-validating log-header
+/// word: the id in the low 32 bits, a checksum of it in the high 32.
+/// A write that tears between the halves — or a media fault that flips
+/// any bit — fails validation and decodes as "nothing committed".
+///
+/// # Example
+///
+/// ```
+/// use ede_nvm::log::{decode_header, header_word};
+///
+/// assert_eq!(decode_header(header_word(3)), 3);
+/// assert_eq!(decode_header(3), 0);            // torn: checksum half lost
+/// assert_eq!(decode_header(0), 0);            // fresh media
+/// assert_eq!(decode_header(header_word(3) ^ 1), 0); // media bit flip
+/// ```
+///
+/// # Panics
+///
+/// Panics if `txid` does not fit in 32 bits (the framework's ids are
+/// small consecutive integers).
+pub fn header_word(txid: u64) -> u64 {
+    assert!(txid <= u64::from(u32::MAX), "transaction ids fit in 32 bits");
+    (header_checksum(txid) << 32) | txid
+}
+
+/// Decodes a log-header word: the committed transaction id if the word
+/// validates, 0 (nothing committed) otherwise. See [`header_word`].
+pub fn decode_header(word: u64) -> u64 {
+    let lo = word & 0xFFFF_FFFF;
+    if word >> 32 == header_checksum(lo) {
+        lo
+    } else {
+        0
+    }
 }
 
 /// Decodes the entry stored at `slot` in a word-addressed view of NVM,
@@ -134,6 +180,22 @@ mod tests {
         mem.insert(0x40 + OFF_ADDR, 0x100);
         mem.insert(0x40 + OFF_OLD, 7);
         assert_eq!(decode_entry(0x40, rd(&mem)), None);
+    }
+
+    #[test]
+    fn header_word_round_trips_and_rejects_corruption() {
+        for txid in [0u64, 1, 2, 1000, u64::from(u32::MAX)] {
+            assert_eq!(decode_header(header_word(txid)), txid);
+        }
+        // A torn write that persisted only the id half.
+        assert_eq!(decode_header(5), 0);
+        // A torn write that persisted only the checksum half.
+        assert_eq!(decode_header(header_word(5) & !0xFFFF_FFFF), 0);
+        // Every single-bit flip of a valid word invalidates it.
+        let w = header_word(7);
+        for bit in 0..64 {
+            assert_eq!(decode_header(w ^ (1 << bit)), 0, "bit {bit}");
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Undo-log recovery.
 
 use crate::layout::Layout;
-use crate::log::{decode_entry, LogEntry};
+use crate::log::{decode_entry, decode_header, LogEntry};
 use std::collections::HashMap;
 
 /// A reconstructed NVM image: 8-byte word address → value; absent words
@@ -25,17 +25,21 @@ pub struct RecoveryResult {
 /// uncommitted transaction and its (also uncommitted) successor both
 /// touched an address, the address ends at its oldest pre-image.
 ///
+/// The header is read through [`decode_header`]: a torn or bit-flipped
+/// header word counts as "nothing committed", so every decodable entry
+/// is rolled back rather than trusting a corrupt id.
+///
 /// # Example
 ///
 /// ```
 /// use ede_nvm::recovery::{recover, NvmImage};
-/// use ede_nvm::log::{checksum, OFF_ADDR, OFF_OLD, OFF_TXID, OFF_CSUM};
+/// use ede_nvm::log::{checksum, header_word, OFF_ADDR, OFF_OLD, OFF_TXID, OFF_CSUM};
 /// use ede_nvm::Layout;
 ///
 /// let layout = Layout::standard();
 /// let mut image = NvmImage::new();
 /// // Header: tx 1 committed. A valid entry from uncommitted tx 2.
-/// image.insert(layout.log_header, 1);
+/// image.insert(layout.log_header, header_word(1));
 /// let slot = layout.slot_addr(0);
 /// let (addr, old) = (layout.heap_base, 7u64);
 /// image.insert(slot + OFF_ADDR, addr);
@@ -50,7 +54,7 @@ pub struct RecoveryResult {
 /// assert_eq!(image[&addr], 7);
 /// ```
 pub fn recover(image: &mut NvmImage, layout: &Layout) -> RecoveryResult {
-    let committed = image.get(&layout.log_header).copied().unwrap_or(0);
+    let committed = decode_header(image.get(&layout.log_header).copied().unwrap_or(0));
     let mut entries: Vec<LogEntry> = (0..layout.log_slots)
         .filter_map(|i| {
             decode_entry(layout.slot_addr(i), |w| {
@@ -83,10 +87,11 @@ pub fn recover(image: &mut NvmImage, layout: &Layout) -> RecoveryResult {
 pub fn recovery_trace(image: &NvmImage, layout: &Layout) -> ede_isa::Program {
     use ede_isa::TraceBuilder;
     let rd = |a: u64| image.get(&a).copied().unwrap_or(0);
-    let committed = rd(layout.log_header);
+    let committed = decode_header(rd(layout.log_header));
     let mut b = TraceBuilder::new();
-    // Load the committed transaction id.
-    b.load(layout.log_header, committed);
+    // Load the raw header word and validate it (decode_header).
+    b.load(layout.log_header, rd(layout.log_header));
+    b.compute_chain(2);
     let mut entries: Vec<crate::log::LogEntry> = Vec::new();
     for i in 0..layout.log_slots {
         let slot = layout.slot_addr(i);
@@ -119,7 +124,7 @@ pub fn recovery_trace(image: &NvmImage, layout: &Layout) -> ede_isa::Program {
 mod tests {
     use super::*;
     use crate::log::{OFF_ADDR, OFF_CSUM, OFF_OLD, OFF_TXID};
-    use crate::log::checksum;
+    use crate::log::{checksum, header_word};
 
     fn put_entry(image: &mut NvmImage, layout: &Layout, slot: u64, addr: u64, old: u64, txid: u64) {
         let s = layout.slot_addr(slot);
@@ -142,7 +147,7 @@ mod tests {
     fn committed_entries_skipped() {
         let layout = Layout::standard();
         let mut image = NvmImage::new();
-        image.insert(layout.log_header, 5);
+        image.insert(layout.log_header, header_word(5));
         put_entry(&mut image, &layout, 0, layout.heap_base, 1, 5); // committed
         image.insert(layout.heap_base, 100);
         let r = recover(&mut image, &layout);
@@ -171,7 +176,7 @@ mod tests {
         let mut image = NvmImage::new();
         let x = layout.heap_base;
         let y = layout.heap_base + 64;
-        image.insert(layout.log_header, 1); // tx 1 committed
+        image.insert(layout.log_header, header_word(1)); // tx 1 committed
         put_entry(&mut image, &layout, 0, x, 11, 1); // committed: skipped
         put_entry(&mut image, &layout, 1, x, 22, 2); // uncommitted: applied
         put_entry(&mut image, &layout, 2, y, 33, 2); // uncommitted: applied
@@ -199,6 +204,38 @@ mod tests {
             .count();
         assert!(loads >= 16 * 4);
         assert!(trace.validate().is_ok());
+    }
+
+    #[test]
+    fn bit_flipped_entry_is_skipped() {
+        // A media fault flips one bit of an entry's pre-image word after
+        // the entry (and its checksum) persisted. The entry must be
+        // rejected rather than rolled back to a corrupt value.
+        let layout = Layout::standard();
+        let mut image = NvmImage::new();
+        put_entry(&mut image, &layout, 0, layout.heap_base, 7, 1);
+        let old_word = layout.slot_addr(0) + OFF_OLD;
+        *image.get_mut(&old_word).unwrap() ^= 1 << 17;
+        image.insert(layout.heap_base, 99);
+        let r = recover(&mut image, &layout);
+        assert_eq!(r.rolled_back, 0);
+        assert_eq!(image[&layout.heap_base], 99, "no rollback to a corrupt pre-image");
+    }
+
+    #[test]
+    fn torn_header_reads_as_uncommitted() {
+        // Only the id half of the commit marker reached the media — the
+        // checksum half tore off. Recovery must treat the transaction as
+        // uncommitted and roll its entry back.
+        let layout = Layout::standard();
+        let mut image = NvmImage::new();
+        image.insert(layout.log_header, 1); // raw id, no checksum half
+        put_entry(&mut image, &layout, 0, layout.heap_base, 7, 1);
+        image.insert(layout.heap_base, 99);
+        let r = recover(&mut image, &layout);
+        assert_eq!(r.committed_txid, 0);
+        assert_eq!(r.rolled_back, 1);
+        assert_eq!(image[&layout.heap_base], 7);
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! The paper's evaluation experiments (Figures 9, 10, 11).
 
 use crate::config::SimConfig;
+use crate::error::SimError;
 use crate::runner::{run_workload, RunResult};
 use crate::geomean;
-use ede_cpu::CoreError;
 use ede_isa::ArchConfig;
 use ede_workloads::{standard_suite, Workload, WorkloadParams};
 
@@ -66,6 +66,22 @@ impl Fig9 {
 }
 
 /// Runs a list of independent workload × configuration cells across
+/// `cfg.jobs` pool workers with **no early abort**: every cell runs, and
+/// each cell's outcome — a result or a typed [`SimError`] — is recorded
+/// in cell order. A deadlocked or over-budget cell costs one `Err`
+/// entry, not the sweep; fault-injection campaigns and robustness sweeps
+/// consume this directly.
+pub fn run_cells_recorded(
+    cfg: &ExperimentConfig,
+    suite: &[Box<dyn Workload>],
+    cells: &[(usize, ArchConfig)],
+) -> Vec<Result<RunResult, SimError>> {
+    ede_util::pool::par_map_indexed(cfg.jobs, cells, |_, &(wi, arch)| {
+        run_workload(suite[wi].as_ref(), &cfg.params, arch, &cfg.sim)
+    })
+}
+
+/// Runs a list of independent workload × configuration cells across
 /// `cfg.jobs` pool workers, returning results in cell order. The first
 /// error **in cell order** is propagated (not the first to complete), so
 /// error behavior is as deterministic as the success path.
@@ -73,12 +89,8 @@ fn run_cells(
     cfg: &ExperimentConfig,
     suite: &[Box<dyn Workload>],
     cells: &[(usize, ArchConfig)],
-) -> Result<Vec<RunResult>, CoreError> {
-    ede_util::pool::par_map_indexed(cfg.jobs, cells, |_, &(wi, arch)| {
-        run_workload(suite[wi].as_ref(), &cfg.params, arch, &cfg.sim)
-    })
-    .into_iter()
-    .collect()
+) -> Result<Vec<RunResult>, SimError> {
+    run_cells_recorded(cfg, suite, cells).into_iter().collect()
 }
 
 /// Workload-major cell order: all five configurations of workload 0,
@@ -93,8 +105,8 @@ fn cells_workload_major(n: usize) -> Vec<(usize, ArchConfig)> {
 ///
 /// # Errors
 ///
-/// Propagates a [`CoreError`] if any run exceeds the cycle limit.
-pub fn fig9(cfg: &ExperimentConfig) -> Result<Fig9, CoreError> {
+/// Propagates the first [`SimError`] in cell order if any run fails.
+pub fn fig9(cfg: &ExperimentConfig) -> Result<Fig9, SimError> {
     fig9_with(cfg, &standard_suite())
 }
 
@@ -102,11 +114,11 @@ pub fn fig9(cfg: &ExperimentConfig) -> Result<Fig9, CoreError> {
 ///
 /// # Errors
 ///
-/// Propagates a [`CoreError`] if any run exceeds the cycle limit.
+/// Propagates the first [`SimError`] in cell order if any run fails.
 pub fn fig9_with(
     cfg: &ExperimentConfig,
     suite: &[Box<dyn Workload>],
-) -> Result<Fig9, CoreError> {
+) -> Result<Fig9, SimError> {
     let results = run_cells(cfg, suite, &cells_workload_major(suite.len()))?;
     let mut rows = Vec::new();
     for (wi, w) in suite.iter().enumerate() {
@@ -155,12 +167,12 @@ pub struct Fig9Seeds {
 ///
 /// # Errors
 ///
-/// Propagates a [`CoreError`] if any run exceeds the cycle limit.
+/// Propagates the first [`SimError`] in cell order if any run fails.
 pub fn fig9_seeds(
     cfg: &ExperimentConfig,
     suite: &[Box<dyn Workload>],
     seeds: &[u64],
-) -> Result<Fig9Seeds, CoreError> {
+) -> Result<Fig9Seeds, SimError> {
     assert!(!seeds.is_empty(), "at least one seed");
     let mut per_seed = Vec::new();
     for &seed in seeds {
@@ -255,8 +267,8 @@ impl Fig10 {
 ///
 /// # Errors
 ///
-/// Propagates a [`CoreError`] if any run exceeds the cycle limit.
-pub fn fig10(cfg: &ExperimentConfig) -> Result<Fig10, CoreError> {
+/// Propagates the first [`SimError`] in cell order if any run fails.
+pub fn fig10(cfg: &ExperimentConfig) -> Result<Fig10, SimError> {
     fig10_with(cfg, &standard_suite())
 }
 
@@ -264,11 +276,11 @@ pub fn fig10(cfg: &ExperimentConfig) -> Result<Fig10, CoreError> {
 ///
 /// # Errors
 ///
-/// Propagates a [`CoreError`] if any run exceeds the cycle limit.
+/// Propagates the first [`SimError`] in cell order if any run fails.
 pub fn fig10_with(
     cfg: &ExperimentConfig,
     suite: &[Box<dyn Workload>],
-) -> Result<Fig10, CoreError> {
+) -> Result<Fig10, SimError> {
     let grid = cells_workload_major(suite.len());
     let results = run_cells(cfg, suite, &grid)?;
     let cells = grid
@@ -316,8 +328,8 @@ impl Fig11 {
 ///
 /// # Errors
 ///
-/// Propagates a [`CoreError`] if any run exceeds the cycle limit.
-pub fn fig11(cfg: &ExperimentConfig) -> Result<Fig11, CoreError> {
+/// Propagates the first [`SimError`] in cell order if any run fails.
+pub fn fig11(cfg: &ExperimentConfig) -> Result<Fig11, SimError> {
     fig11_with(cfg, &standard_suite())
 }
 
@@ -325,11 +337,11 @@ pub fn fig11(cfg: &ExperimentConfig) -> Result<Fig11, CoreError> {
 ///
 /// # Errors
 ///
-/// Propagates a [`CoreError`] if any run exceeds the cycle limit.
+/// Propagates the first [`SimError`] in cell order if any run fails.
 pub fn fig11_with(
     cfg: &ExperimentConfig,
     suite: &[Box<dyn Workload>],
-) -> Result<Fig11, CoreError> {
+) -> Result<Fig11, SimError> {
     let width = cfg.sim.cpu.issue_width;
     // Arch-major cell order: this figure aggregates per configuration.
     let grid: Vec<(usize, ArchConfig)> = ArchConfig::ALL
@@ -396,6 +408,24 @@ mod tests {
             assert_eq!(f.rows[0].cycles, base.rows[0].cycles, "jobs {jobs}");
             assert_eq!(f.geomean, base.geomean, "jobs {jobs}");
         }
+    }
+
+    #[test]
+    fn recorded_sweep_survives_failing_cells() {
+        // A cycle budget no cell can meet: every cell fails, but the
+        // recorded sweep still visits all of them, in order.
+        let mut cfg = tiny();
+        cfg.sim.max_cycles = 200;
+        let suite: Vec<Box<dyn Workload>> = vec![Box::new(Update)];
+        let grid = cells_workload_major(suite.len());
+        let outcomes = run_cells_recorded(&cfg, &suite, &grid);
+        assert_eq!(outcomes.len(), grid.len());
+        for o in &outcomes {
+            let err = o.as_ref().unwrap_err();
+            assert!(err.is_cycle_limit(), "{err}");
+        }
+        // The aborting wrapper turns the same sweep into its first error.
+        assert!(fig9_with(&cfg, &suite).is_err());
     }
 
     #[test]

@@ -25,11 +25,13 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod error;
 pub mod experiment;
 pub mod report;
 pub mod runner;
 
 pub use config::SimConfig;
+pub use error::SimError;
 pub use experiment::{fig10, fig11, fig9, fig9_seeds, ExperimentConfig, Fig10, Fig11, Fig9, Fig9Seeds};
 pub use runner::{raw_output, run_program, run_program_traced, run_workload, RunResult};
 

@@ -1,10 +1,11 @@
 //! Running one workload on one configuration.
 
 use crate::config::SimConfig;
+use crate::error::SimError;
 use ede_core::ordering::{check_execution_deps, InstTiming, Violation};
 use ede_cpu::core::StallStats;
 use ede_cpu::ptrace::{PipeObserver, PipeRecorder};
-use ede_cpu::{Core, CoreError, IssueHistogram};
+use ede_cpu::{Core, IssueHistogram};
 use ede_isa::{ArchConfig, InstId, Program};
 use ede_mem::{MemStats, MemSystem, PersistTrace};
 use ede_nvm::{check_crash_consistency, ConsistencyError, TxOutput};
@@ -85,11 +86,16 @@ impl RunResult {
     }
 
     /// The cycle at which the initialization phase's barrier completed.
+    ///
+    /// A phase marker pointing past the recorded timings (possible only
+    /// for hand-built [`TxOutput`]s) counts as "no init phase" rather
+    /// than panicking — `run_program` rejects such outputs up front, so
+    /// this fallback is belt-and-braces for results built by hand.
     pub fn tx_phase_start_cycle(&self) -> u64 {
         match self.output.tx_phase_start {
             // The instruction before the phase start is the init DSB.
             Some(InstId(0)) | None => 0,
-            Some(id) => self.timings[id.index() - 1].complete,
+            Some(id) => self.timings.get(id.index() - 1).map_or(0, |t| t.complete),
         }
     }
 }
@@ -98,13 +104,15 @@ impl RunResult {
 ///
 /// # Errors
 ///
-/// [`CoreError::CycleLimit`] if the run exceeds `sim.max_cycles`.
+/// [`SimError::Core`] if the run exceeds `sim.max_cycles` or the
+/// watchdog diagnoses a deadlock; [`SimError::Config`] for a malformed
+/// run request.
 pub fn run_workload(
     workload: &dyn Workload,
     params: &WorkloadParams,
     arch: ArchConfig,
     sim: &SimConfig,
-) -> Result<RunResult, CoreError> {
+) -> Result<RunResult, SimError> {
     let output = workload.generate(params, arch);
     run_program(workload.name(), output, arch, sim)
 }
@@ -113,13 +121,15 @@ pub fn run_workload(
 ///
 /// # Errors
 ///
-/// [`CoreError::CycleLimit`] if the run exceeds `sim.max_cycles`.
+/// [`SimError::Core`] if the run exceeds `sim.max_cycles` or the
+/// watchdog diagnoses a deadlock; [`SimError::Config`] for a malformed
+/// run request.
 pub fn run_program(
     name: &str,
     output: TxOutput,
     arch: ArchConfig,
     sim: &SimConfig,
-) -> Result<RunResult, CoreError> {
+) -> Result<RunResult, SimError> {
     run_program_inner(name, output, arch, sim, None)
 }
 
@@ -131,13 +141,15 @@ pub fn run_program(
 ///
 /// # Errors
 ///
-/// [`CoreError::CycleLimit`] if the run exceeds `sim.max_cycles`.
+/// [`SimError::Core`] if the run exceeds `sim.max_cycles` or the
+/// watchdog diagnoses a deadlock; [`SimError::Config`] for a malformed
+/// run request.
 pub fn run_program_traced(
     name: &str,
     output: TxOutput,
     arch: ArchConfig,
     sim: &SimConfig,
-) -> Result<(RunResult, PipeRecorder), CoreError> {
+) -> Result<(RunResult, PipeRecorder), SimError> {
     let rec = Rc::new(RefCell::new(PipeRecorder::new()));
     let sink = Rc::clone(&rec);
     let observer: PipeObserver = Box::new(move |ev| sink.borrow_mut().push(ev));
@@ -157,7 +169,23 @@ fn run_program_inner(
     arch: ArchConfig,
     sim: &SimConfig,
     observer: Option<PipeObserver>,
-) -> Result<RunResult, CoreError> {
+) -> Result<RunResult, SimError> {
+    if sim.max_cycles == 0 {
+        return Err(SimError::Config {
+            message: "max_cycles is 0: no run can finish".to_string(),
+        });
+    }
+    if let Some(id) = output.tx_phase_start {
+        if id.index() > output.program.len() {
+            return Err(SimError::Config {
+                message: format!(
+                    "tx_phase_start #{} is past the end of the {}-instruction program",
+                    id.index(),
+                    output.program.len()
+                ),
+            });
+        }
+    }
     let mem = MemSystem::new(sim.mem.clone());
     let mut core = Core::new(sim.cpu_for(arch), output.program.clone(), mem);
     if let Some(obs) = observer {
@@ -255,6 +283,49 @@ mod tests {
             r.crash_consistent()
                 .unwrap_or_else(|(c, e)| panic!("{arch}: cycle {c}: {e}"));
         }
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_errors() {
+        // Phase marker past the end of the program.
+        let mut b = ede_isa::TraceBuilder::new();
+        b.store(0x1_0000_0000, 1);
+        let mut out = raw_output(b.finish());
+        out.tx_phase_start = Some(InstId(99));
+        let err = run_program("bad", out, ArchConfig::Baseline, &SimConfig::a72()).unwrap_err();
+        assert!(matches!(err, crate::SimError::Config { .. }), "{err}");
+        assert!(err.to_string().contains("tx_phase_start"), "{err}");
+
+        // A zero cycle budget can never finish.
+        let mut sim = SimConfig::a72();
+        sim.max_cycles = 0;
+        let mut b = ede_isa::TraceBuilder::new();
+        b.store(0x1_0000_0000, 1);
+        let err =
+            run_program("bad", raw_output(b.finish()), ArchConfig::Baseline, &sim).unwrap_err();
+        assert!(matches!(err, crate::SimError::Config { .. }), "{err}");
+    }
+
+    #[test]
+    fn injected_hang_surfaces_as_deadlock_error() {
+        // A swallowed DC CVAP acknowledgement makes the trailing WAIT_KEY
+        // unsatisfiable; the runner must hand back the watchdog's typed
+        // diagnosis instead of panicking or spinning to the cycle limit.
+        use ede_isa::Edk;
+        let key = Edk::new(3).unwrap();
+        let mut b = ede_isa::TraceBuilder::new();
+        b.store(0x1_0000_0000, 1);
+        b.cvap_producing(0x1_0000_0000, key);
+        b.wait_key(key);
+        let mut sim = SimConfig::a72();
+        sim.cpu.watchdog_cycles = 10_000;
+        sim.mem.fault = Some(ede_mem::FaultInjection::StuckCvap { nth: 0 });
+        let err = run_program("hang", raw_output(b.finish()), ArchConfig::WriteBuffer, &sim)
+            .unwrap_err();
+        assert!(err.is_deadlock(), "{err}");
+        let (inst, cause) = err.deadlock_cause().unwrap();
+        assert!(inst.is_some());
+        assert_eq!(cause, ede_cpu::core::WaitCause::EdeKey(key));
     }
 
     #[test]
