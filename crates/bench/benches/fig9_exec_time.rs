@@ -30,6 +30,34 @@ fn fig9(c: &mut Criterion) {
         }
     }
     group.finish();
+
+    // EDE_METRICS=<path>: record the per-cell metrics registry next to
+    // the wall-clock numbers, so a perf change and its stall-attribution
+    // explanation land in the same bench run.
+    if let Ok(path) = std::env::var("EDE_METRICS") {
+        let mut out = String::from("{\n  \"bench\": \"fig9_exec_time\",\n  \"cells\": [\n");
+        let mut first = true;
+        for w in standard_suite() {
+            for arch in ArchConfig::ALL {
+                let r = run_workload(w.as_ref(), &cfg.params, arch, &cfg.sim)
+                    .expect("run completes");
+                if !first {
+                    out.push_str(",\n");
+                }
+                first = false;
+                out.push_str(&format!(
+                    "    {{\"id\": \"{}/{}\", \"tx_cycles\": {}, \"registry\": {}}}",
+                    w.name(),
+                    arch.label(),
+                    r.tx_cycles,
+                    r.metrics.to_json()
+                ));
+            }
+        }
+        out.push_str("\n  ]\n}\n");
+        std::fs::write(&path, out).expect("write EDE_METRICS file");
+        eprintln!("fig9_exec_time: registry snapshot written to {path}");
+    }
 }
 
 criterion_group!(

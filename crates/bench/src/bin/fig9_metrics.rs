@@ -1,0 +1,68 @@
+//! The fig9 suite as metrics documents: one per-layer registry per
+//! (workload, configuration) cell, with the stall-attribution breakdown
+//! that explains *where* the Figure 9 cycle differences come from.
+//!
+//! Usage:
+//!
+//! ```sh
+//! EDE_OPS=200 cargo run --release -p ede-bench --bin fig9_metrics \
+//!     > BENCH_fig9_metrics.json
+//! ```
+//!
+//! The document is byte-deterministic for a given parameter set (the
+//! runs are sequential; registries serialize in stable key order), so
+//! successive recordings diff cleanly — the start of the repo's
+//! metrics-trajectory record.
+
+use ede_isa::ArchConfig;
+use ede_sim::{run_workload, SimConfig};
+use ede_util::obs::json_escape;
+use ede_workloads::standard_suite;
+
+fn main() {
+    let cfg = ede_bench::experiment_from_env();
+    let suite = standard_suite();
+    eprintln!(
+        "fig9_metrics: {} ops x {} apps x {} configs (EDE_OPS to change)…",
+        cfg.params.ops,
+        suite.len(),
+        ArchConfig::ALL.len()
+    );
+    let sim = SimConfig::a72();
+
+    println!("{{");
+    println!("  \"schema\": \"ede.metrics.fig9.v1\",");
+    println!("  \"ops\": {},", cfg.params.ops);
+    println!("  \"ops_per_tx\": {},", cfg.params.ops_per_tx);
+    println!("  \"seed\": {},", cfg.params.seed);
+    println!("  \"cells\": [");
+    let mut first = true;
+    for w in &suite {
+        for arch in ArchConfig::ALL {
+            let r = run_workload(w.as_ref(), &cfg.params, arch, &sim)
+                .unwrap_or_else(|e| panic!("{} on {arch}: {e}", w.name()));
+            assert!(
+                r.attribution.conserved(r.cycles),
+                "{} on {arch}: unattributed stall cycles",
+                w.name()
+            );
+            if !first {
+                println!(",");
+            }
+            first = false;
+            print!(
+                "    {{\"workload\": {}, \"arch\": {}, \"cycles\": {}, \
+                 \"tx_cycles\": {}, \"retired\": {}, \"registry\": {}}}",
+                json_escape(w.name()),
+                json_escape(arch.label()),
+                r.cycles,
+                r.tx_cycles,
+                r.retired,
+                r.metrics.to_json()
+            );
+        }
+    }
+    println!();
+    println!("  ]");
+    println!("}}");
+}

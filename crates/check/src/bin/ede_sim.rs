@@ -3,10 +3,14 @@
 //! ```text
 //! ede-sim fuzz   [--seed N] [--cases N] [--max-cmds N] [--arch B,IQ,WB]
 //!                [--fault NAME[:N]] [--shrink-iters N] [--jobs N]
-//!                [--progress N]
+//!                [--progress N] [--metrics PATH]
 //! ede-sim inject [--seed N] [--cases N] [--max-cmds N] [--arch B,IQ,WB]
 //!                [--fault NAME[:N],NAME,...] [--shrink-iters N]
 //!                [--jobs N] [--progress N] [--disable-detectors]
+//!                [--metrics PATH]
+//! ede-sim trace  [--litmus NAME] [--arch B] [--metrics PATH]
+//!                [--chrome PATH] [--quiet]
+//! ede-sim validate-metrics PATH
 //! ```
 //!
 //! `fuzz` runs the differential fuzzer: seeded random programs through
@@ -22,31 +26,62 @@
 //! detector off, a corrupting fault must fail the campaign with a
 //! shrunk reproducer.
 //!
-//! Exit status: 0 when the run passes, 2 when a (shrunk) counterexample
-//! or silent corruption was found, 1 on usage errors.
+//! `trace` runs one named litmus program (default `two_update`; see
+//! `ede_check::litmus`) with the event tracer attached and prints the
+//! rendered stage/stall stream. `--metrics` writes the `ede.metrics.v1`
+//! document, `--chrome` a `chrome://tracing` timeline. `validate-metrics`
+//! re-checks a written document's shape and conservation invariant.
+//!
+//! `--metrics PATH` on `fuzz`/`inject` writes a campaign metrics
+//! document: the deterministic sequential-replay registry for fuzz, the
+//! detection-matrix registry for inject. Both are byte-identical across
+//! `--jobs` values.
+//!
+//! Exit status: 0 when the run passes, 2 when a (shrunk) counterexample,
+//! silent corruption, or invalid metrics document was found, 1 on usage
+//! errors.
 //!
 //! `--jobs` selects worker threads (0 = auto via `EDE_JOBS` or the host
 //! parallelism). stdout is byte-identical for every job count; worker
 //! progress (`--progress N`, 0 = silent) goes to stderr only.
 
-use ede_check::fuzz::{fuzz, FuzzOptions};
+use ede_check::fuzz::{campaign_metrics, fuzz, FuzzOptions};
 use ede_check::inject::{inject, InjectOptions};
-use ede_cpu::FaultInjection;
+use ede_check::litmus;
+use ede_cpu::{FaultInjection, TracerConfig};
 use ede_isa::ArchConfig;
+use ede_sim::{
+    chrome_trace_json, metrics_json, raw_output, run_program_observed, validate_metrics_json,
+    SimConfig,
+};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: ede-sim fuzz   [--seed N] [--cases N] [--max-cmds N] \
          [--arch B,IQ,WB] [--fault NAME[:N]] [--shrink-iters N] \
-         [--jobs N] [--progress N]\n\
+         [--jobs N] [--progress N] [--metrics PATH]\n\
          \u{20}      ede-sim inject [--seed N] [--cases N] [--max-cmds N] \
          [--arch B,IQ,WB] [--fault NAME[:N],...] [--shrink-iters N] \
-         [--jobs N] [--progress N] [--disable-detectors]\n\
-         faults: {}",
-        FaultInjection::ALL.map(|f| f.label()).join(", ")
+         [--jobs N] [--progress N] [--disable-detectors] [--metrics PATH]\n\
+         \u{20}      ede-sim trace  [--litmus NAME] [--arch B] \
+         [--metrics PATH] [--chrome PATH] [--quiet]\n\
+         \u{20}      ede-sim validate-metrics PATH\n\
+         faults: {}\n\
+         litmus: {}",
+        FaultInjection::ALL.map(|f| f.label()).join(", "),
+        litmus::NAMES.join(", "),
     );
     ExitCode::from(1)
+}
+
+/// Writes `text` to `path`, dying with exit 1 on I/O failure — metrics
+/// the caller asked for must never be silently absent.
+fn write_or_die(path: &str, text: &str) {
+    if let Err(e) = std::fs::write(path, text) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    }
 }
 
 fn parse_archs(spec: &str) -> Option<Vec<ArchConfig>> {
@@ -67,10 +102,15 @@ fn run_fuzz(args: &[String]) -> Option<ExitCode> {
         progress_every: 5000,
         ..FuzzOptions::default()
     };
+    let mut metrics_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let value = it.next()?;
         let ok = match flag.as_str() {
+            "--metrics" => {
+                metrics_path = Some(value.clone());
+                true
+            }
             "--seed" => value.parse().map(|v| opts.seed = v).is_ok(),
             "--cases" => value.parse().map(|v| opts.cases = v).is_ok(),
             "--max-cmds" => value.parse().map(|v| opts.max_cmds = v).is_ok(),
@@ -117,6 +157,12 @@ fn run_fuzz(args: &[String]) -> Option<ExitCode> {
         ede_util::pool::Pool::new(opts.jobs).jobs()
     );
     let report = fuzz(&opts);
+    if let Some(path) = &metrics_path {
+        // Sampled sequential replay: byte-identical for every --jobs.
+        let reg = campaign_metrics(&opts, report.cases_run, 16);
+        write_or_die(path, &format!("{}\n", reg.to_json()));
+        eprintln!("fuzz: campaign metrics written to {path}");
+    }
     Some(match report.failure {
         None => {
             println!("ok: {} cases, zero conformance diffs", report.cases_run);
@@ -150,6 +196,7 @@ fn run_fuzz(args: &[String]) -> Option<ExitCode> {
 
 fn run_inject(args: &[String]) -> Option<ExitCode> {
     let mut opts = InjectOptions::default();
+    let mut metrics_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         if flag == "--disable-detectors" {
@@ -158,6 +205,10 @@ fn run_inject(args: &[String]) -> Option<ExitCode> {
         }
         let value = it.next()?;
         let ok = match flag.as_str() {
+            "--metrics" => {
+                metrics_path = Some(value.clone());
+                true
+            }
             "--seed" => value.parse().map(|v| opts.seed = v).is_ok(),
             "--cases" => value.parse().map(|v| opts.cases = v).is_ok(),
             "--max-cmds" => value.parse().map(|v| opts.max_cmds = v).is_ok(),
@@ -193,6 +244,10 @@ fn run_inject(args: &[String]) -> Option<ExitCode> {
         ede_util::pool::Pool::new(opts.jobs).jobs()
     );
     let report = inject(&opts);
+    if let Some(path) = &metrics_path {
+        write_or_die(path, &format!("{}\n", report.metrics().to_json()));
+        eprintln!("inject: campaign metrics written to {path}");
+    }
     println!("{}", report.to_json());
     Some(if report.all_covered() {
         ExitCode::SUCCESS
@@ -222,11 +277,81 @@ fn run_inject(args: &[String]) -> Option<ExitCode> {
     })
 }
 
+fn run_trace(args: &[String]) -> Option<ExitCode> {
+    let mut name = "two_update".to_string();
+    let mut arch = ArchConfig::WriteBuffer;
+    let mut metrics_path: Option<String> = None;
+    let mut chrome_path: Option<String> = None;
+    let mut quiet = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--quiet" {
+            quiet = true;
+            continue;
+        }
+        let value = it.next()?;
+        match flag.as_str() {
+            "--litmus" => name = value.clone(),
+            "--arch" => arch = ArchConfig::ALL.into_iter().find(|a| a.label() == value)?,
+            "--metrics" => metrics_path = Some(value.clone()),
+            "--chrome" => chrome_path = Some(value.clone()),
+            _ => return None,
+        }
+    }
+    let program = litmus::program(&name).or_else(|| {
+        eprintln!("unknown litmus program {name:?} (have: {})", litmus::NAMES.join(", "));
+        None
+    })?;
+    let (result, rec, tracer) = run_program_observed(
+        &name,
+        raw_output(program.clone()),
+        arch,
+        &SimConfig::a72(),
+        TracerConfig::default(),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("simulation failed: {e}");
+        std::process::exit(1);
+    });
+    if !quiet {
+        println!("== {name} on {arch}: {} cycles, {} retired ==", result.cycles, result.retired);
+        print!("{}", litmus::render_events(&program, tracer.events()));
+    }
+    if let Some(path) = &metrics_path {
+        write_or_die(path, &metrics_json(&result));
+        eprintln!("trace: metrics written to {path}");
+    }
+    if let Some(path) = &chrome_path {
+        write_or_die(path, &chrome_trace_json(&result, &rec));
+        eprintln!("trace: chrome timeline written to {path}");
+    }
+    Some(ExitCode::SUCCESS)
+}
+
+fn run_validate(args: &[String]) -> Option<ExitCode> {
+    let [path] = args else { return None };
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| eprintln!("cannot read {path}: {e}"))
+        .ok()?;
+    Some(match validate_metrics_json(&text) {
+        Ok(()) => {
+            println!("ok: {path} is a valid {} document", ede_sim::METRICS_SCHEMA);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            println!("INVALID: {path}: {e}");
+            ExitCode::from(2)
+        }
+    })
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("fuzz") => run_fuzz(&args[1..]),
         Some("inject") => run_inject(&args[1..]),
+        Some("trace") => run_trace(&args[1..]),
+        Some("validate-metrics") => run_validate(&args[1..]),
         _ => None,
     };
     result.unwrap_or_else(usage)

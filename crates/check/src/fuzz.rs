@@ -16,8 +16,9 @@ use crate::gen::{cmds_strategy, concretize, Cmd};
 use crate::golden::{self, GoldenConfig};
 use ede_cpu::FaultInjection;
 use ede_isa::{ArchConfig, Program};
-use ede_sim::{raw_output, run_program_traced, SimConfig};
+use ede_sim::{raw_output, run_program, run_program_traced, SimConfig};
 use ede_util::check::{minimize, Strategy};
+use ede_util::obs::Registry;
 use ede_util::pool::Pool;
 use ede_util::rng::{mix64, SmallRng, SplitMix64};
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -130,6 +131,40 @@ pub fn diff_case(cmds: &[Cmd], arch: ArchConfig, fault: Option<FaultInjection>) 
 /// the CLI tests can pin the exact shape the fuzzer emits on stderr.
 pub fn progress_line(worker: usize, done: u32, total: u32, violations: u32) -> String {
     format!("fuzz: worker {worker}: {done}/{total} cases, {violations} violations")
+}
+
+/// Builds a deterministic campaign-metrics registry for a fuzz session.
+///
+/// Re-generates the first `min(cases_run, sample)` cases from the same
+/// seed stream the scan used and runs each *sequentially* on every
+/// requested architecture, merging each run's per-layer registry under
+/// an `<arch>.` prefix (plus `fuzz.cases_sampled` / `fuzz.runs` roll-up
+/// counters). Because this is a fresh sequential replay — never a
+/// by-product of the parallel scan — the result is byte-identical for
+/// every `--jobs` value, which is exactly what the CI metrics diff
+/// pins.
+pub fn campaign_metrics(opts: &FuzzOptions, cases_run: u32, sample: u32) -> Registry {
+    let mut reg = Registry::new();
+    let n = cases_run.min(sample);
+    let mut seeds = SplitMix64::new(mix64(opts.seed));
+    let strat = cmds_strategy(opts.max_cmds);
+    let sim = fuzz_sim(opts.fault);
+    let mut runs = 0u64;
+    for _case in 0..n {
+        let case_seed = seeds.next_u64();
+        let mut rng = SmallRng::seed_from_u64(case_seed);
+        let sh = strat.generate(&mut rng);
+        let program = concretize(&sh.value);
+        for &arch in &opts.archs {
+            if let Ok(r) = run_program("fuzz", raw_output(program.clone()), arch, &sim) {
+                reg.merge_prefixed(&r.metrics, arch.label());
+                runs += 1;
+            }
+        }
+    }
+    reg.inc("fuzz.cases_sampled", u64::from(n));
+    reg.inc("fuzz.runs", runs);
+    reg
 }
 
 /// Regenerates a known-failing case from its index and shrinks it —
@@ -270,6 +305,27 @@ mod tests {
                 ..FuzzOptions::default()
             });
             assert_eq!(report, base, "jobs {jobs}");
+        }
+    }
+
+    #[test]
+    fn campaign_metrics_are_deterministic_and_prefixed() {
+        let opts = FuzzOptions {
+            cases: 3,
+            max_cmds: 10,
+            ..FuzzOptions::default()
+        };
+        let a = campaign_metrics(&opts, 3, 2);
+        let b = campaign_metrics(&opts, 3, 2);
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.counter("fuzz.cases_sampled"), 2);
+        // Every default arch contributed cycles under its own prefix.
+        for arch in ["B", "IQ", "WB"] {
+            assert!(
+                a.counter(&format!("{arch}.cpu.cycles")) > 0,
+                "missing {arch} metrics:\n{}",
+                a.to_json()
+            );
         }
     }
 

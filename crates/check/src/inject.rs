@@ -222,6 +222,34 @@ impl InjectReport {
         s.push('}');
         s
     }
+
+    /// The detection matrix as a metrics registry:
+    /// `inject.<fault>.<arch>.<outcome>` counters plus campaign
+    /// roll-ups. Deterministic for every worker count — it is a pure
+    /// function of the (already jobs-invariant) report.
+    pub fn metrics(&self) -> ede_util::obs::Registry {
+        let mut reg = ede_util::obs::Registry::new();
+        for c in &self.cells {
+            let cell = format!("inject.{}.{}", c.fault.label(), c.arch.label());
+            for (outcome, n) in [
+                ("conformance", c.conformance),
+                ("watchdog", c.watchdog),
+                ("cycle_limit", c.cycle_limit),
+                ("crash_checker", c.crash_checker),
+                ("tolerated", c.tolerated),
+                ("silent", c.silent),
+            ] {
+                reg.inc(&format!("{cell}.{outcome}"), u64::from(n));
+            }
+        }
+        reg.inc("inject.cells", self.cells.len() as u64);
+        reg.inc("inject.cases_per_cell", u64::from(self.cases));
+        reg.inc(
+            "inject.silent_total",
+            self.cells.iter().map(|c| u64::from(c.silent)).sum(),
+        );
+        reg
+    }
 }
 
 /// The simulation configuration probe cases run under: A72 tables, a

@@ -22,6 +22,9 @@
 //!   golden model.
 //! * [`fuzz`] — the differential driver tying the three together across
 //!   `ArchConfig`s, used by the `ede-sim fuzz` CLI and the CI smoke job.
+//! * [`litmus`] — named minimal persist-idiom programs (`two_update`,
+//!   `hazard`, `join`, …) and a snapshot-stable event-stream renderer,
+//!   shared by the golden-trace tests and the `ede-sim trace` CLI.
 //! * [`inject`] — the fault-injection campaign: sweeps the
 //!   [`FaultInjection`](ede_mem::FaultInjection) taxonomy across
 //!   architectures and asserts every fault is detected (conformance
@@ -46,6 +49,7 @@ pub mod fuzz;
 pub mod gen;
 pub mod golden;
 pub mod inject;
+pub mod litmus;
 
 pub use conform::check_run;
 pub use fuzz::{fuzz, FuzzFailure, FuzzOptions, FuzzReport};

@@ -51,9 +51,13 @@ pub mod core;
 pub mod port;
 pub mod ptrace;
 pub mod stats;
+pub mod trace;
 pub mod wb;
 
 pub use crate::core::{Core, CoreError, RunStats};
 pub use config::{CpuConfig, FaultInjection};
 pub use port::{FixedLatencyMem, MemPort};
 pub use stats::IssueHistogram;
+pub use trace::{
+    StageId, StallCause, StallTable, TraceEvent, TraceEventKind, Tracer, TracerConfig,
+};

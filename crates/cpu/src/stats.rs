@@ -81,6 +81,14 @@ impl IssueHistogram {
     pub fn counts(&self) -> &[u64] {
         &self.counts
     }
+
+    /// Reports the histogram into a metrics registry as
+    /// `cpu.issue.width_<n>` counters.
+    pub fn report(&self, reg: &mut ede_util::obs::Registry) {
+        for (n, &c) in self.counts.iter().enumerate() {
+            reg.inc(&format!("cpu.issue.width_{n}"), c);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -98,6 +98,10 @@ pub struct MemSystem {
     /// Persist events recorded so far (occurrence index for
     /// [`FaultInjection::DropPersist`]).
     persist_count: u32,
+    /// Times the configured fault actually fired (a campaign that never
+    /// hits its fault site proves nothing — see `ede-check`'s coverage
+    /// accounting).
+    fault_hits: u64,
 }
 
 /// Token marking persist-buffer writes with no waiting requester
@@ -122,6 +126,7 @@ impl MemSystem {
             stats: MemStats::default(),
             cvap_count: 0,
             persist_count: 0,
+            fault_hits: 0,
             cfg,
         }
     }
@@ -134,8 +139,12 @@ impl MemSystem {
         let n = self.persist_count;
         self.persist_count += 1;
         match self.cfg.fault {
-            Some(FaultInjection::DropPersist { nth }) if nth == n => return,
+            Some(FaultInjection::DropPersist { nth }) if nth == n => {
+                self.fault_hits += 1;
+                return;
+            }
             Some(FaultInjection::DuplicatePersist) => {
+                self.fault_hits += 1;
                 self.trace.record_persist(PersistEvent { cycle, line });
             }
             _ => {}
@@ -176,6 +185,7 @@ impl MemSystem {
                 // becomes visible (and thus persistable).
                 let (width, value) =
                     if width == 16 && self.cfg.fault == Some(FaultInjection::TornStp) {
+                        self.fault_hits += 1;
                         (8, [value[0], 0])
                     } else {
                         (width, value)
@@ -193,6 +203,7 @@ impl MemSystem {
                 let n = self.cvap_count;
                 self.cvap_count += 1;
                 if self.cfg.fault == Some(FaultInjection::StuckCvap { nth: n }) {
+                    self.fault_hits += 1;
                     // The request vanishes in the controller: never
                     // acknowledged, never persisted. The requester waits
                     // forever — the pipeline watchdog's job. It no longer
@@ -226,6 +237,7 @@ impl MemSystem {
                             // the persistent domain a media write later.
                             let persist_at =
                                 if self.cfg.fault == Some(FaultInjection::EarlyCleanAck) {
+                                    self.fault_hits += 1;
                                     ack_at + self.cfg.nvm_write_latency
                                 } else {
                                     ack_at
@@ -389,6 +401,42 @@ impl MemSystem {
     /// Accumulated statistics.
     pub fn stats(&self) -> &MemStats {
         &self.stats
+    }
+
+    /// Times the configured fault injection actually fired.
+    pub fn fault_hits(&self) -> u64 {
+        self.fault_hits
+    }
+
+    /// Reports the system's counters into a metrics registry under
+    /// `mem.*`: cache/device traffic, persist-stream event counts,
+    /// fault-injection hits, and persist-buffer depth/throughput.
+    pub fn report(&self, reg: &mut ede_util::obs::Registry) {
+        let s = &self.stats;
+        reg.inc("mem.loads", s.loads);
+        reg.inc("mem.store_drains", s.store_drains);
+        reg.inc("mem.cvaps", s.cvaps);
+        reg.inc("mem.l1_hits", s.l1_hits);
+        reg.inc("mem.l2_hits", s.l2_hits);
+        reg.inc("mem.l3_hits", s.l3_hits);
+        reg.inc("mem.dram_accesses", s.dram_accesses);
+        reg.inc("mem.nvm_reads", s.nvm_reads);
+        reg.inc("mem.nvm_evictions", s.nvm_evictions);
+        reg.inc("mem.prefetches", s.prefetches);
+        reg.inc("mem.fault_hits", self.fault_hits);
+        reg.inc("mem.persist_events", self.trace.persists.len() as u64);
+        reg.inc("mem.store_events", self.trace.stores.len() as u64);
+        let (inserts, merges, media_writes) = self.buffer.counters();
+        reg.inc("mem.pb.inserts", inserts);
+        reg.inc("mem.pb.merges", merges);
+        reg.inc("mem.pb.media_writes", media_writes);
+        reg.set_gauge_max("mem.pb.occupancy", self.buffer.occupancy() as i64);
+        reg.set_gauge_max("mem.pb.queued", self.buffer.queued() as i64);
+        for (n, &c) in self.buffer.occupancy_histogram().iter().enumerate() {
+            if c > 0 {
+                reg.inc(&format!("mem.pb.occupancy_hist.{n}"), c);
+            }
+        }
     }
 
     /// The persist buffer (for occupancy inspection).

@@ -1,15 +1,19 @@
 //! Assemble and run an EDE program from a file (or stdin).
 //!
 //! ```sh
-//! cargo run --release -p ede-sim --bin ede-run -- program.s [B|SU|IQ|WB|U]
+//! cargo run --release -p ede-sim --bin ede-run -- program.s [B|SU|IQ|WB|U] \
+//!     [--metrics out.json] [--chrome trace.json]
 //! ```
 //!
 //! Prints the disassembly, cycle count, IPC, and — when the trace contains
 //! EDE instructions — whether every execution dependence was honored.
+//! `--metrics` writes the `ede.metrics.v1` document for the run;
+//! `--chrome` writes a `chrome://tracing` timeline.
 
+use ede_cpu::TracerConfig;
 use ede_isa::{asm, disasm, ArchConfig};
-use ede_sim::runner::{raw_output, run_program};
-use ede_sim::SimConfig;
+use ede_sim::runner::{raw_output, run_program_observed};
+use ede_sim::{chrome_trace_json, metrics_json, SimConfig};
 use std::io::Read as _;
 
 fn arch_from(label: &str) -> Option<ArchConfig> {
@@ -17,8 +21,26 @@ fn arch_from(label: &str) -> Option<ArchConfig> {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let (source, name) = match args.get(1).map(String::as_str) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional: Vec<String> = Vec::new();
+    let mut metrics_path: Option<String> = None;
+    let mut chrome_path: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let take = |it: &mut std::vec::IntoIter<String>, flag: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a path");
+                std::process::exit(1);
+            })
+        };
+        match arg.as_str() {
+            "--metrics" => metrics_path = Some(take(&mut it, "--metrics")),
+            "--chrome" => chrome_path = Some(take(&mut it, "--chrome")),
+            _ => positional.push(arg),
+        }
+    }
+
+    let (source, name) = match positional.first().map(String::as_str) {
         None | Some("-") => {
             let mut s = String::new();
             std::io::stdin()
@@ -34,8 +56,8 @@ fn main() {
             path.to_string(),
         ),
     };
-    let arch = args
-        .get(2)
+    let arch = positional
+        .get(1)
         .map(|l| {
             arch_from(l).unwrap_or_else(|| {
                 eprintln!("unknown configuration `{l}` (use B, SU, IQ, WB or U)");
@@ -52,12 +74,32 @@ fn main() {
     print!("{}", disasm::listing(&program));
 
     let sim = SimConfig::a72();
-    let r = run_program(&name, raw_output(program.clone()), arch, &sim)
-        .unwrap_or_else(|e| {
-            eprintln!("simulation failed: {e}");
+    let (r, rec, _) = run_program_observed(
+        &name,
+        raw_output(program.clone()),
+        arch,
+        &sim,
+        TracerConfig::default(),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("simulation failed: {e}");
+        std::process::exit(1);
+    });
+    println!("\ncycles: {}   retired: {}   IPC: {:.2}", r.cycles, r.retired, r.ipc());
+    if let Some(path) = &metrics_path {
+        std::fs::write(path, metrics_json(&r)).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
             std::process::exit(1);
         });
-    println!("\ncycles: {}   retired: {}   IPC: {:.2}", r.cycles, r.retired, r.ipc());
+        eprintln!("metrics written to {path}");
+    }
+    if let Some(path) = &chrome_path {
+        std::fs::write(path, chrome_trace_json(&r, &rec)).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("chrome timeline written to {path}");
+    }
     if program.iter().any(|(_, i)| i.is_ede()) {
         let v = ede_core::ordering::check_execution_deps(&program, &r.timings);
         if v.is_empty() {

@@ -27,13 +27,17 @@
 pub mod config;
 pub mod error;
 pub mod experiment;
+pub mod metrics;
 pub mod report;
 pub mod runner;
 
 pub use config::SimConfig;
 pub use error::SimError;
 pub use experiment::{fig10, fig11, fig9, fig9_seeds, ExperimentConfig, Fig10, Fig11, Fig9, Fig9Seeds};
-pub use runner::{raw_output, run_program, run_program_traced, run_workload, RunResult};
+pub use metrics::{chrome_trace_json, metrics_json, validate_metrics_json, METRICS_SCHEMA};
+pub use runner::{
+    raw_output, run_program, run_program_observed, run_program_traced, run_workload, RunResult,
+};
 
 /// Geometric mean of strictly positive values; 0 for an empty slice.
 ///

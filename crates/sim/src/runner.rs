@@ -5,10 +5,11 @@ use crate::error::SimError;
 use ede_core::ordering::{check_execution_deps, InstTiming, Violation};
 use ede_cpu::core::StallStats;
 use ede_cpu::ptrace::{PipeObserver, PipeRecorder};
-use ede_cpu::{Core, IssueHistogram};
+use ede_cpu::{Core, IssueHistogram, StallTable, Tracer, TracerConfig};
 use ede_isa::{ArchConfig, InstId, Program};
 use ede_mem::{MemStats, MemSystem, PersistTrace};
 use ede_nvm::{check_crash_consistency, ConsistencyError, TxOutput};
+use ede_util::obs::Registry;
 use ede_workloads::{Workload, WorkloadParams};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -41,6 +42,12 @@ pub struct RunResult {
     pub timings: Vec<InstTiming>,
     /// Store/persist event record (crash reconstruction).
     pub trace: PersistTrace,
+    /// Per-stage stall attribution: every cycle decomposes into busy +
+    /// exactly one typed cause, so each stage's total equals `cycles`.
+    pub attribution: StallTable,
+    /// The per-run metrics registry: `cpu.*`, `mem.*`, and `nvm.*`
+    /// counters/gauges assembled from every layer.
+    pub metrics: Registry,
     /// The generated code and transaction record.
     pub output: TxOutput,
 }
@@ -130,7 +137,7 @@ pub fn run_program(
     arch: ArchConfig,
     sim: &SimConfig,
 ) -> Result<RunResult, SimError> {
-    run_program_inner(name, output, arch, sim, None)
+    run_program_inner(name, output, arch, sim, None, None).map(|(r, _)| r)
 }
 
 /// Simulates a program with pipeline-event tracing attached: the returned
@@ -153,7 +160,7 @@ pub fn run_program_traced(
     let rec = Rc::new(RefCell::new(PipeRecorder::new()));
     let sink = Rc::clone(&rec);
     let observer: PipeObserver = Box::new(move |ev| sink.borrow_mut().push(ev));
-    let result = run_program_inner(name, output, arch, sim, Some(observer))?;
+    let (result, _) = run_program_inner(name, output, arch, sim, Some(observer), None)?;
     // The core (and with it the observer closure) is dropped inside
     // `run_program_inner`, so ours is the only strong reference left.
     let rec = Rc::try_unwrap(rec)
@@ -163,13 +170,43 @@ pub fn run_program_traced(
     Ok((result, rec))
 }
 
+/// Simulates a program with both the pipeline recorder and the bounded
+/// event [`Tracer`] attached — the full observability bundle behind
+/// `ede-sim trace`: the recorder yields the per-instruction stage
+/// timeline, the tracer the sampled stall/occupancy event ring.
+///
+/// # Errors
+///
+/// [`SimError::Core`] if the run exceeds `sim.max_cycles` or the
+/// watchdog diagnoses a deadlock; [`SimError::Config`] for a malformed
+/// run request.
+pub fn run_program_observed(
+    name: &str,
+    output: TxOutput,
+    arch: ArchConfig,
+    sim: &SimConfig,
+    tracer: TracerConfig,
+) -> Result<(RunResult, PipeRecorder, Tracer), SimError> {
+    let rec = Rc::new(RefCell::new(PipeRecorder::new()));
+    let sink = Rc::clone(&rec);
+    let observer: PipeObserver = Box::new(move |ev| sink.borrow_mut().push(ev));
+    let (result, tr) =
+        run_program_inner(name, output, arch, sim, Some(observer), Some(tracer))?;
+    let rec = Rc::try_unwrap(rec)
+        .ok()
+        .expect("observer closure outlived the core")
+        .into_inner();
+    Ok((result, rec, tr.expect("tracer was attached")))
+}
+
 fn run_program_inner(
     name: &str,
     output: TxOutput,
     arch: ArchConfig,
     sim: &SimConfig,
     observer: Option<PipeObserver>,
-) -> Result<RunResult, SimError> {
+    tracer: Option<TracerConfig>,
+) -> Result<(RunResult, Option<Tracer>), SimError> {
     if sim.max_cycles == 0 {
         return Err(SimError::Config {
             message: "max_cycles is 0: no run can finish".to_string(),
@@ -191,7 +228,11 @@ fn run_program_inner(
     if let Some(obs) = observer {
         core.set_observer(obs);
     }
+    if let Some(cfg) = tracer {
+        core.set_tracer(Tracer::new(cfg));
+    }
     let stats = core.run(sim.max_cycles)?;
+    let tr = core.take_tracer();
     let mut mem = core.into_mem();
     // Drain in-flight media writes so the persist trace and the buffer
     // occupancy histogram cover the whole run.
@@ -202,6 +243,15 @@ fn run_program_inner(
     }
     let mem_stats = *mem.stats();
     let nvm_occupancy = mem.persist_buffer().occupancy_histogram().to_vec();
+
+    // Assemble the per-run metrics registry from every layer. The
+    // registry never depends on whether a tracer/observer was attached,
+    // so traced and untraced runs of the same program produce identical
+    // metrics documents.
+    let mut metrics = Registry::new();
+    stats.report(&mut metrics);
+    mem.report(&mut metrics);
+    output.report(&mut metrics);
     let trace = mem.into_trace();
 
     let mut result = RunResult {
@@ -217,10 +267,12 @@ fn run_program_inner(
         mem_stats,
         timings: stats.timings,
         trace,
+        attribution: stats.attribution,
+        metrics,
         output,
     };
     result.tx_cycles = result.cycles.saturating_sub(result.tx_phase_start_cycle());
-    Ok(result)
+    Ok((result, tr))
 }
 
 /// Builds a [`TxOutput`] wrapper around a raw program with no transaction

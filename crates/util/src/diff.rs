@@ -1,0 +1,198 @@
+//! Line-oriented unified diffs for snapshot tests.
+//!
+//! The golden-trace harness compares multi-hundred-line event streams;
+//! "assert_eq on two strings" buries the one changed line in a wall of
+//! text. [`unified_diff`] renders the classic `-`/`+` hunk format with
+//! three lines of context so a snapshot mismatch reads like `git diff`.
+//!
+//! # Example
+//!
+//! ```
+//! use ede_util::diff::unified_diff;
+//!
+//! let d = unified_diff("a\nb\nc\n", "a\nX\nc\n", "expected", "actual");
+//! assert!(d.contains("-b"));
+//! assert!(d.contains("+X"));
+//! ```
+
+use std::fmt::Write as _;
+
+/// Lines of unchanged context shown around each change.
+const CONTEXT: usize = 3;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Edit {
+    Keep,
+    Delete,
+    Insert,
+}
+
+/// Renders a unified diff from `old` to `new`; empty string when equal.
+///
+/// `old_label` / `new_label` become the `---` / `+++` headers.
+pub fn unified_diff(old: &str, new: &str, old_label: &str, new_label: &str) -> String {
+    if old == new {
+        return String::new();
+    }
+    let a: Vec<&str> = old.lines().collect();
+    let b: Vec<&str> = new.lines().collect();
+    let script = edit_script(&a, &b);
+
+    let mut out = format!("--- {old_label}\n+++ {new_label}\n");
+    // Walk the script, grouping edits into hunks with CONTEXT lines of
+    // surrounding Keep.
+    let mut i = 0; // index into script
+    let mut a_line = 0usize; // consumed lines of `a`
+    let mut b_line = 0usize;
+    while i < script.len() {
+        if script[i] == Edit::Keep {
+            a_line += 1;
+            b_line += 1;
+            i += 1;
+            continue;
+        }
+        // Found a change: back up for leading context.
+        let hunk_start = i;
+        let lead = CONTEXT.min(hunk_start);
+        // Extend the hunk forward until CONTEXT+1 consecutive Keeps (or
+        // the end).
+        let mut j = i;
+        let mut keeps = 0;
+        let mut hunk_end = i;
+        while j < script.len() {
+            if script[j] == Edit::Keep {
+                keeps += 1;
+                if keeps > CONTEXT {
+                    break;
+                }
+            } else {
+                keeps = 0;
+                hunk_end = j + 1;
+            }
+            j += 1;
+        }
+        let tail = CONTEXT.min(script.len() - hunk_end);
+        let lo = hunk_start - lead;
+        let hi = hunk_end + tail;
+
+        // Line numbers/<count> for the @@ header: rewind the counters to
+        // `lo` (everything in [lo, hunk_start) is Keep).
+        let a_start = a_line - lead;
+        let b_start = b_line - lead;
+        let a_count = script[lo..hi]
+            .iter()
+            .filter(|e| !matches!(e, Edit::Insert))
+            .count();
+        let b_count = script[lo..hi]
+            .iter()
+            .filter(|e| !matches!(e, Edit::Delete))
+            .count();
+        let _ = writeln!(
+            out,
+            "@@ -{},{a_count} +{},{b_count} @@",
+            a_start + 1,
+            b_start + 1
+        );
+        let mut ai = a_start;
+        let mut bi = b_start;
+        for e in &script[lo..hi] {
+            match e {
+                Edit::Keep => {
+                    let _ = writeln!(out, " {}", a[ai]);
+                    ai += 1;
+                    bi += 1;
+                }
+                Edit::Delete => {
+                    let _ = writeln!(out, "-{}", a[ai]);
+                    ai += 1;
+                }
+                Edit::Insert => {
+                    let _ = writeln!(out, "+{}", b[bi]);
+                    bi += 1;
+                }
+            }
+        }
+        a_line = ai;
+        b_line = bi;
+        i = hi;
+    }
+    out
+}
+
+/// Longest-common-subsequence edit script from `a` to `b`, as a flat
+/// Keep/Delete/Insert sequence (deletes before inserts at each point).
+fn edit_script(a: &[&str], b: &[&str]) -> Vec<Edit> {
+    // Standard O(n·m) LCS table; snapshot files are small (≤ a few
+    // thousand lines), so quadratic is fine and simple.
+    let n = a.len();
+    let m = b.len();
+    let mut lcs = vec![0u32; (n + 1) * (m + 1)];
+    let idx = |i: usize, j: usize| i * (m + 1) + j;
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            lcs[idx(i, j)] = if a[i] == b[j] {
+                lcs[idx(i + 1, j + 1)] + 1
+            } else {
+                lcs[idx(i + 1, j)].max(lcs[idx(i, j + 1)])
+            };
+        }
+    }
+    let mut script = Vec::with_capacity(n + m);
+    let (mut i, mut j) = (0, 0);
+    while i < n && j < m {
+        if a[i] == b[j] {
+            script.push(Edit::Keep);
+            i += 1;
+            j += 1;
+        } else if lcs[idx(i + 1, j)] >= lcs[idx(i, j + 1)] {
+            script.push(Edit::Delete);
+            i += 1;
+        } else {
+            script.push(Edit::Insert);
+            j += 1;
+        }
+    }
+    script.extend(std::iter::repeat_n(Edit::Delete, n - i));
+    script.extend(std::iter::repeat_n(Edit::Insert, m - j));
+    script
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_inputs_produce_empty_diff() {
+        assert_eq!(unified_diff("a\nb\n", "a\nb\n", "x", "y"), "");
+    }
+
+    #[test]
+    fn single_change_with_context() {
+        let old = "1\n2\n3\n4\n5\n6\n7\n8\n9\n";
+        let new = "1\n2\n3\n4\nFIVE\n6\n7\n8\n9\n";
+        let d = unified_diff(old, new, "expected", "actual");
+        assert!(d.starts_with("--- expected\n+++ actual\n"), "{d}");
+        assert!(d.contains("@@ -2,7 +2,7 @@"), "{d}");
+        assert!(d.contains("-5\n+FIVE\n"), "{d}");
+        // Lines far from the change stay out of the hunk.
+        assert!(!d.contains(" 1\n"), "{d}");
+    }
+
+    #[test]
+    fn disjoint_changes_make_two_hunks() {
+        let old: String = (0..30).map(|i| format!("l{i}\n")).collect();
+        let new = old.replace("l3\n", "X\n").replace("l25\n", "Y\n");
+        let d = unified_diff(&old, &new, "a", "b");
+        assert_eq!(d.matches("@@").count() / 2, 2, "{d}");
+        assert!(d.contains("-l3\n+X\n"), "{d}");
+        assert!(d.contains("-l25\n+Y\n"), "{d}");
+    }
+
+    #[test]
+    fn pure_insertion_and_deletion() {
+        let d = unified_diff("a\nc\n", "a\nb\nc\n", "old", "new");
+        assert!(d.contains("+b\n"), "{d}");
+        let d = unified_diff("a\nb\nc\n", "a\nc\n", "old", "new");
+        assert!(d.contains("-b\n"), "{d}");
+    }
+}

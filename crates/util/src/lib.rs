@@ -17,7 +17,11 @@
 //! * [`pool`] — a scoped thread pool (std::thread + channels) with a
 //!   deterministic map-reduce layer: results come back in submission
 //!   order, so parallel runs are bit-identical to sequential ones
-//!   (`EDE_JOBS` selects the worker count).
+//!   (`EDE_JOBS` selects the worker count);
+//! * [`obs`] — a metrics registry (counters, gauges, log2-bucketed
+//!   histograms) with byte-stable JSON serialization, deterministic
+//!   merging, and a strict JSON parser for shape validation;
+//! * [`diff`] — line-oriented unified diffs for snapshot tests.
 //!
 //! Everything is deterministic by construction: a property-test failure
 //! prints the seed that reproduces it, the same seed always replays
@@ -28,5 +32,7 @@
 
 pub mod bench;
 pub mod check;
+pub mod diff;
+pub mod obs;
 pub mod pool;
 pub mod rng;

@@ -1,0 +1,804 @@
+//! A zero-dependency metrics registry: the observability substrate every
+//! layer of the simulator reports into.
+//!
+//! Three metric kinds cover everything the workspace measures:
+//!
+//! * **counters** — monotonic `u64` totals (cycles, retires, cache hits,
+//!   fault-injection trigger sites);
+//! * **gauges** — point-in-time or high-water `i64` readings (queue
+//!   depths, longest watchdog-quiet streak);
+//! * **histograms** — [`Log2Histogram`]s with 65 fixed power-of-two
+//!   buckets (cycle latencies, occupancy samples). Fixed buckets keep
+//!   merging exact and serialization stable.
+//!
+//! A [`Registry`] is an ordered name → metric map. Serialization
+//! ([`Registry::to_json`]) walks the map in key order and formats every
+//! number with `format!` — the output is **byte-stable**: the same
+//! metrics always serialize to the same string, which is what lets CI
+//! diff metrics documents across `--jobs` values.
+//!
+//! [`Registry::merge`] folds one registry into another (counters add,
+//! gauges high-water, histograms add bucket-wise); the operation is
+//! commutative and associative over disjoint recordings, so parallel
+//! workers can aggregate per-case registries in case order and reproduce
+//! a sequential run's document exactly.
+//!
+//! The [`json`] submodule is a strict parser for the JSON subset this
+//! workspace emits — the in-repo shape checker used by
+//! `ede-sim validate-metrics` and the CI trace smoke.
+//!
+//! # Example
+//!
+//! ```
+//! use ede_util::obs::Registry;
+//!
+//! let mut reg = Registry::new();
+//! reg.inc("cpu.cycles", 100);
+//! reg.set_gauge_max("cpu.rob.high_water", 12);
+//! reg.observe("mem.load.latency", 37);
+//! let doc = reg.to_json();
+//! assert!(doc.contains("\"cpu.cycles\""));
+//! assert_eq!(reg.counter("cpu.cycles"), 100);
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Number of buckets in a [`Log2Histogram`]: bucket 0 holds the value 0,
+/// bucket `k` (1 ≤ k ≤ 64) holds values in `[2^(k-1), 2^k)`.
+pub const LOG2_BUCKETS: usize = 65;
+
+/// A histogram over `u64` samples with fixed log2 bucket boundaries.
+///
+/// The bucket layout never depends on the data, so two histograms can be
+/// merged exactly and serialization is stable across runs.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Log2Histogram {
+    buckets: [u64; LOG2_BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram {
+            buckets: [0; LOG2_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Log2Histogram {
+        Log2Histogram::default()
+    }
+
+    /// The bucket index a value falls into.
+    pub fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// The inclusive lower bound of bucket `i`.
+    pub fn bucket_floor(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << (i - 1)
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean sample, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Count in bucket `i`.
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// Adds every bucket of `other` into `self`.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Non-empty buckets as `(bucket_index, count)` pairs, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect()
+    }
+}
+
+/// One named metric.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Metric {
+    /// A monotonic total.
+    Counter(u64),
+    /// A point-in-time reading (merged by maximum — high-water).
+    Gauge(i64),
+    /// A log2-bucketed distribution. Boxed so the abundant counter/gauge
+    /// entries in a registry don't each pay for the 65-bucket table.
+    Histogram(Box<Log2Histogram>),
+}
+
+/// An ordered name → metric map with stable JSON serialization.
+///
+/// Names are dotted paths by convention (`cpu.stall.retire.wb_full`);
+/// the [`BTreeMap`] keeps serialization order independent of insertion
+/// order.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Registry {
+    metrics: BTreeMap<String, Metric>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Adds `by` to the counter `name` (created at zero).
+    ///
+    /// # Panics
+    ///
+    /// If `name` already holds a non-counter metric — a name collision is
+    /// a programming error, not a runtime condition.
+    pub fn inc(&mut self, name: &str, by: u64) {
+        match self
+            .metrics
+            .entry(name.to_string())
+            .or_insert(Metric::Counter(0))
+        {
+            Metric::Counter(c) => *c += by,
+            other => panic!("metric {name} is a {}, not a counter", kind_name(other)),
+        }
+    }
+
+    /// Sets the gauge `name` to `value`, overwriting.
+    ///
+    /// # Panics
+    ///
+    /// If `name` already holds a non-gauge metric.
+    pub fn set_gauge(&mut self, name: &str, value: i64) {
+        match self
+            .metrics
+            .entry(name.to_string())
+            .or_insert(Metric::Gauge(value))
+        {
+            Metric::Gauge(g) => *g = value,
+            other => panic!("metric {name} is a {}, not a gauge", kind_name(other)),
+        }
+    }
+
+    /// Raises the gauge `name` to `value` if it is below (high-water).
+    ///
+    /// # Panics
+    ///
+    /// If `name` already holds a non-gauge metric.
+    pub fn set_gauge_max(&mut self, name: &str, value: i64) {
+        match self
+            .metrics
+            .entry(name.to_string())
+            .or_insert(Metric::Gauge(value))
+        {
+            Metric::Gauge(g) => *g = (*g).max(value),
+            other => panic!("metric {name} is a {}, not a gauge", kind_name(other)),
+        }
+    }
+
+    /// Records one sample into the histogram `name` (created empty).
+    ///
+    /// # Panics
+    ///
+    /// If `name` already holds a non-histogram metric.
+    pub fn observe(&mut self, name: &str, value: u64) {
+        match self
+            .metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Box::new(Log2Histogram::new())))
+        {
+            Metric::Histogram(h) => h.record(value),
+            other => panic!("metric {name} is a {}, not a histogram", kind_name(other)),
+        }
+    }
+
+    /// The counter `name`, 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.metrics.get(name) {
+            Some(Metric::Counter(c)) => *c,
+            _ => 0,
+        }
+    }
+
+    /// The gauge `name`, 0 when absent.
+    pub fn gauge(&self, name: &str) -> i64 {
+        match self.metrics.get(name) {
+            Some(Metric::Gauge(g)) => *g,
+            _ => 0,
+        }
+    }
+
+    /// The histogram `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&Log2Histogram> {
+        match self.metrics.get(name) {
+            Some(Metric::Histogram(h)) => Some(h.as_ref()),
+            _ => None,
+        }
+    }
+
+    /// The raw metric `name`, if present.
+    pub fn get(&self, name: &str) -> Option<&Metric> {
+        self.metrics.get(name)
+    }
+
+    /// Iterates `(name, metric)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Metric)> {
+        self.metrics.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of metrics registered.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Whether no metric has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Folds `other` into `self`: counters add, gauges take the maximum
+    /// (high-water), histograms add bucket-wise. Commutative, so parallel
+    /// per-case registries merged in any order agree with a sequential
+    /// aggregation.
+    ///
+    /// # Panics
+    ///
+    /// If the same name holds different metric kinds in the two
+    /// registries.
+    pub fn merge(&mut self, other: &Registry) {
+        for (name, metric) in &other.metrics {
+            match (
+                self.metrics
+                    .entry(name.clone())
+                    .or_insert_with(|| empty_like(metric)),
+                metric,
+            ) {
+                (Metric::Counter(a), Metric::Counter(b)) => *a += b,
+                (Metric::Gauge(a), Metric::Gauge(b)) => *a = (*a).max(*b),
+                (Metric::Histogram(a), Metric::Histogram(b)) => a.merge(b),
+                (a, b) => panic!(
+                    "metric {name}: cannot merge a {} into a {}",
+                    kind_name(b),
+                    kind_name(a)
+                ),
+            }
+        }
+    }
+
+    /// Like [`merge`](Self::merge), but every incoming name is prefixed
+    /// with `prefix` and a dot — for aggregating per-configuration
+    /// registries side by side (`B.cpu.cycles`, `WB.cpu.cycles`).
+    pub fn merge_prefixed(&mut self, other: &Registry, prefix: &str) {
+        let mut prefixed = Registry::new();
+        for (name, metric) in &other.metrics {
+            prefixed
+                .metrics
+                .insert(format!("{prefix}.{name}"), metric.clone());
+        }
+        self.merge(&prefixed);
+    }
+
+    /// Serializes the registry as one stable JSON object: keys in name
+    /// order, counters/gauges as bare integers under `"value"`,
+    /// histograms as `{count, sum, buckets: [[floor, count], ...]}` with
+    /// only non-empty buckets listed.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, metric)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{}: ", json_escape(name));
+            match metric {
+                Metric::Counter(c) => {
+                    let _ = write!(out, "{{\"type\": \"counter\", \"value\": {c}}}");
+                }
+                Metric::Gauge(g) => {
+                    let _ = write!(out, "{{\"type\": \"gauge\", \"value\": {g}}}");
+                }
+                Metric::Histogram(h) => {
+                    let _ = write!(
+                        out,
+                        "{{\"type\": \"histogram\", \"count\": {}, \"sum\": {}, \"buckets\": [",
+                        h.count(),
+                        h.sum()
+                    );
+                    for (j, (bucket, count)) in h.nonzero_buckets().into_iter().enumerate() {
+                        if j > 0 {
+                            out.push_str(", ");
+                        }
+                        let _ = write!(
+                            out,
+                            "[{}, {count}]",
+                            Log2Histogram::bucket_floor(bucket)
+                        );
+                    }
+                    out.push_str("]}");
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn kind_name(m: &Metric) -> &'static str {
+    match m {
+        Metric::Counter(_) => "counter",
+        Metric::Gauge(_) => "gauge",
+        Metric::Histogram(_) => "histogram",
+    }
+}
+
+fn empty_like(m: &Metric) -> Metric {
+    match m {
+        Metric::Counter(_) => Metric::Counter(0),
+        Metric::Gauge(g) => Metric::Gauge(*g),
+        Metric::Histogram(_) => Metric::Histogram(Box::new(Log2Histogram::new())),
+    }
+}
+
+/// Escapes a string for JSON output (quotes included).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+pub mod json {
+    //! A strict recursive-descent parser for the JSON the workspace
+    //! emits — the in-repo shape checker behind `ede-sim
+    //! validate-metrics` and the metrics assertions in tests.
+    //!
+    //! Full JSON (objects, arrays, strings with escapes, numbers, bools,
+    //! null); numbers are held as `f64`, which is exact for every integer
+    //! the simulator serializes below 2^53.
+    //!
+    //! # Example
+    //!
+    //! ```
+    //! use ede_util::obs::json::parse;
+    //!
+    //! let v = parse(r#"{"cycles": 42, "stages": ["D", "I"]}"#).unwrap();
+    //! assert_eq!(v.get("cycles").and_then(|c| c.as_u64()), Some(42));
+    //! assert_eq!(v.get("stages").and_then(|s| s.as_array()).map(|a| a.len()), Some(2));
+    //! ```
+
+    /// A parsed JSON value.
+    #[derive(Clone, PartialEq, Debug)]
+    pub enum Json {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// Any number.
+        Num(f64),
+        /// A string (escapes resolved).
+        Str(String),
+        /// An array.
+        Array(Vec<Json>),
+        /// An object; insertion order preserved.
+        Object(Vec<(String, Json)>),
+    }
+
+    impl Json {
+        /// Member `key` of an object, if this is an object containing it.
+        pub fn get(&self, key: &str) -> Option<&Json> {
+            match self {
+                Json::Object(members) => {
+                    members.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+                }
+                _ => None,
+            }
+        }
+
+        /// The value as a non-negative integer, if it is one exactly.
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => {
+                    Some(*n as u64)
+                }
+                _ => None,
+            }
+        }
+
+        /// The value as a float.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Json::Num(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        /// The value as a string slice.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Json::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The value as an array.
+        pub fn as_array(&self) -> Option<&[Json]> {
+            match self {
+                Json::Array(a) => Some(a),
+                _ => None,
+            }
+        }
+
+        /// The value as an object's member list.
+        pub fn as_object(&self) -> Option<&[(String, Json)]> {
+            match self {
+                Json::Object(o) => Some(o),
+                _ => None,
+            }
+        }
+    }
+
+    /// Parses a complete JSON document (trailing whitespace allowed,
+    /// trailing garbage rejected).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description with the byte offset of the problem.
+    pub fn parse(input: &str) -> Result<Json, String> {
+        let bytes = input.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+        if *pos < b.len() && b[*pos] == c {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", c as char, pos))
+        }
+    }
+
+    fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            None => Err("unexpected end of input".to_string()),
+            Some(b'{') => parse_object(b, pos),
+            Some(b'[') => parse_array(b, pos),
+            Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+            Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+            Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+            Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+            Some(_) => parse_number(b, pos),
+        }
+    }
+
+    fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Json) -> Result<Json, String> {
+        if b[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {pos}"))
+        }
+    }
+
+    fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+        expect(b, pos, b'{')?;
+        let mut members = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Json::Object(members));
+        }
+        loop {
+            skip_ws(b, pos);
+            let key = parse_string(b, pos)?;
+            skip_ws(b, pos);
+            expect(b, pos, b':')?;
+            let value = parse_value(b, pos)?;
+            members.push((key, value));
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Json::Object(members));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+            }
+        }
+    }
+
+    fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+        expect(b, pos, b'[')?;
+        let mut items = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(parse_value(b, pos)?);
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+            }
+        }
+    }
+
+    fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(b, pos, b'"')?;
+        let mut out = String::new();
+        loop {
+            match b.get(*pos) {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match b.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = b
+                                .get(*pos + 1..*pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| format!("bad \\u escape at byte {pos}"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape at byte {pos}"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| format!("bad code point at byte {pos}"))?,
+                            );
+                            *pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {pos}")),
+                    }
+                    *pos += 1;
+                }
+                Some(_) => {
+                    // Advance one whole UTF-8 character.
+                    let s = std::str::from_utf8(&b[*pos..])
+                        .map_err(|_| format!("invalid UTF-8 at byte {pos}"))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    *pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+        let start = *pos;
+        if b.get(*pos) == Some(&b'-') {
+            *pos += 1;
+        }
+        while *pos < b.len()
+            && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        {
+            *pos += 1;
+        }
+        let text = std::str::from_utf8(&b[start..*pos]).expect("digits are ASCII");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("invalid number `{text}` at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::json::{parse, Json};
+    use super::*;
+
+    #[test]
+    fn log2_bucket_boundaries() {
+        assert_eq!(Log2Histogram::bucket_of(0), 0);
+        assert_eq!(Log2Histogram::bucket_of(1), 1);
+        assert_eq!(Log2Histogram::bucket_of(2), 2);
+        assert_eq!(Log2Histogram::bucket_of(3), 2);
+        assert_eq!(Log2Histogram::bucket_of(4), 3);
+        assert_eq!(Log2Histogram::bucket_of(u64::MAX), 64);
+        assert_eq!(Log2Histogram::bucket_floor(0), 0);
+        assert_eq!(Log2Histogram::bucket_floor(1), 1);
+        assert_eq!(Log2Histogram::bucket_floor(3), 4);
+        // Every value lands in the bucket whose floor is ≤ it.
+        for v in [0u64, 1, 5, 100, 1 << 20, u64::MAX] {
+            let b = Log2Histogram::bucket_of(v);
+            assert!(Log2Histogram::bucket_floor(b) <= v);
+        }
+    }
+
+    #[test]
+    fn histogram_counts_and_merges() {
+        let mut a = Log2Histogram::new();
+        a.record(3);
+        a.record(4);
+        let mut b = Log2Histogram::new();
+        b.record(0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 7);
+        assert_eq!(a.nonzero_buckets(), vec![(0, 1), (2, 1), (3, 1)]);
+    }
+
+    #[test]
+    fn registry_basics() {
+        let mut reg = Registry::new();
+        reg.inc("a", 2);
+        reg.inc("a", 3);
+        reg.set_gauge("g", -4);
+        reg.set_gauge_max("g", 7);
+        reg.set_gauge_max("g", 5);
+        reg.observe("h", 9);
+        assert_eq!(reg.counter("a"), 5);
+        assert_eq!(reg.gauge("g"), 7);
+        assert_eq!(reg.histogram("h").unwrap().count(), 1);
+        assert_eq!(reg.counter("missing"), 0);
+        assert_eq!(reg.len(), 3);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mut a = Registry::new();
+        a.inc("c", 1);
+        a.set_gauge("g", 10);
+        a.observe("h", 2);
+        let mut b = Registry::new();
+        b.inc("c", 4);
+        b.set_gauge("g", 3);
+        b.observe("h", 100);
+        b.inc("only_b", 1);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.counter("c"), 5);
+        assert_eq!(ab.gauge("g"), 10);
+        assert_eq!(ab.histogram("h").unwrap().count(), 2);
+        assert_eq!(ab.counter("only_b"), 1);
+    }
+
+    #[test]
+    fn merge_prefixed_namespaces() {
+        let mut per_arch = Registry::new();
+        per_arch.inc("cpu.cycles", 7);
+        let mut all = Registry::new();
+        all.merge_prefixed(&per_arch, "WB");
+        assert_eq!(all.counter("WB.cpu.cycles"), 7);
+        assert_eq!(all.counter("cpu.cycles"), 0);
+    }
+
+    #[test]
+    fn json_output_is_stable_and_parses() {
+        let mut reg = Registry::new();
+        reg.observe("z.hist", 5);
+        reg.inc("a.counter", 1);
+        reg.set_gauge("m.gauge", -2);
+        let doc = reg.to_json();
+        // Name order, not insertion order.
+        let a = doc.find("a.counter").unwrap();
+        let m = doc.find("m.gauge").unwrap();
+        let z = doc.find("z.hist").unwrap();
+        assert!(a < m && m < z);
+        assert_eq!(doc, reg.clone().to_json());
+
+        let v = parse(&doc).expect("registry JSON parses");
+        assert_eq!(
+            v.get("a.counter").and_then(|c| c.get("value")).and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            v.get("m.gauge").and_then(|c| c.get("value")).and_then(Json::as_f64),
+            Some(-2.0)
+        );
+        let buckets = v
+            .get("z.hist")
+            .and_then(|h| h.get("buckets"))
+            .and_then(Json::as_array)
+            .unwrap();
+        assert_eq!(buckets.len(), 1);
+        assert_eq!(buckets[0].as_array().unwrap()[0].as_u64(), Some(4));
+    }
+
+    #[test]
+    fn parser_accepts_and_rejects() {
+        assert!(parse("null").is_ok());
+        assert!(parse("[1, 2.5, -3, \"x\\n\", true, {}]").is_ok());
+        assert!(parse("{\"a\": [1]} garbage").is_err());
+        assert!(parse("{\"a\": }").is_err());
+        assert!(parse("\"unterminated").is_err());
+        assert!(parse("01x").is_err());
+        let v = parse("{\"s\": \"a\\u0041b\"}").unwrap();
+        assert_eq!(v.get("s").and_then(Json::as_str), Some("aAb"));
+    }
+
+    #[test]
+    fn escape_round_trip() {
+        let nasty = "a\"b\\c\nd\te\u{1}f";
+        let escaped = json_escape(nasty);
+        let v = parse(&escaped).unwrap();
+        assert_eq!(v.as_str(), Some(nasty));
+    }
+}

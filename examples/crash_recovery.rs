@@ -5,10 +5,16 @@
 
 use ede_isa::ArchConfig;
 use ede_nvm::CrashChecker;
-use ede_sim::{run_workload, SimConfig};
+use ede_sim::{run_workload, RunResult, SimConfig};
 use ede_workloads::{update::Update, WorkloadParams};
 
 pub fn main() {
+    let _ = run();
+}
+
+/// Builds and runs the example, returning every simulation result (the
+/// smoke test asserts they are non-trivial and fully attributed).
+pub fn run() -> Vec<RunResult> {
     let params = WorkloadParams {
         ops: 120,
         ops_per_tx: 40,
@@ -22,6 +28,7 @@ pub fn main() {
          at every persist event (exhaustive over reachable NVM states)\n",
         params.ops, params.ops_per_tx
     );
+    let mut results = Vec::new();
     for arch in ArchConfig::ALL {
         let r = run_workload(&Update, &params, arch, &sim).expect("run completes");
         let checker = CrashChecker::new(&r.output);
@@ -40,6 +47,7 @@ pub fn main() {
                 arch.is_crash_safe()
             ),
         }
+        results.push(r);
     }
 
     // Show one recovery in detail under the baseline.
@@ -52,4 +60,6 @@ pub fn main() {
          back to exactly {committed} committed transactions (of {}).",
         r.output.records.len()
     );
+    results.push(r);
+    results
 }

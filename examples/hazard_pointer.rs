@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release --example hazard_pointer`
 
 use ede_isa::{disasm, ArchConfig, Edk, EdkPair, TraceBuilder};
-use ede_sim::runner::{raw_output, run_program};
+use ede_sim::runner::{raw_output, run_program, RunResult};
 use ede_sim::SimConfig;
 
 const ELEM_PTR: u64 = 0x2000; // x1: pointer to the element's location
@@ -65,6 +65,12 @@ fn announcement(use_ede: bool, rounds: u64) -> ede_isa::Program {
 }
 
 pub fn main() {
+    let _ = run();
+}
+
+/// Builds and runs the example, returning every simulation result (the
+/// smoke test asserts they are non-trivial and fully attributed).
+pub fn run() -> Vec<RunResult> {
     let rounds = 200;
     let fenced = announcement(false, rounds);
     let ede = announcement(true, rounds);
@@ -82,6 +88,7 @@ pub fn main() {
     let base = run_program("hazard-dmb", raw_output(fenced), ArchConfig::Baseline, &sim)
         .expect("fenced run completes");
     println!("\nDMB SY version:  {:>7} cycles for {rounds} rounds", base.cycles);
+    let mut results = Vec::new();
     for arch in [ArchConfig::IssueQueue, ArchConfig::WriteBuffer] {
         let r = run_program("hazard-ede", raw_output(ede.clone()), arch, &sim)
             .expect("EDE run completes");
@@ -93,5 +100,8 @@ pub fn main() {
             r.cycles,
             100.0 * (1.0 - r.cycles as f64 / base.cycles as f64)
         );
+        results.push(r);
     }
+    results.push(base);
+    results
 }

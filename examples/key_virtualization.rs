@@ -8,7 +8,7 @@ use ede_core::keyalloc::{KeyAllocator, VKey};
 use ede_core::ordering::check_execution_deps;
 use ede_core::EnforcementPoint;
 use ede_isa::TraceBuilder;
-use ede_sim::runner::{raw_output, run_program};
+use ede_sim::runner::{raw_output, run_program, RunResult};
 use ede_sim::SimConfig;
 
 fn build(pairs: u64, release_eagerly: bool) -> (ede_isa::Program, u64) {
@@ -42,8 +42,15 @@ fn build(pairs: u64, release_eagerly: bool) -> (ede_isa::Program, u64) {
 }
 
 pub fn main() {
+    let _ = run();
+}
+
+/// Builds and runs the example, returning every simulation result (the
+/// smoke test asserts they are non-trivial and fully attributed).
+pub fn run() -> Vec<RunResult> {
     let sim = SimConfig::a72();
     println!("60 producer→consumer pairs, four times the 15 physical keys:\n");
+    let mut results = Vec::new();
     for (label, eager) in [("live ranges tracked (release after last use)", true),
                            ("no liveness info (spill under pressure)", false)] {
         let (program, spills) = build(60, eager);
@@ -58,6 +65,7 @@ pub fn main() {
             spills,
             r.cycles
         );
+        results.push(r);
     }
     println!(
         "\nWith live-range information the allocator never spills; without it,\n\
@@ -65,4 +73,5 @@ pub fn main() {
          trade register allocators make with stack spills (§IX-A)."
     );
     let _ = EnforcementPoint::WriteBuffer;
+    results
 }

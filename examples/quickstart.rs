@@ -5,10 +5,16 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use ede_isa::{disasm, ArchConfig, Edk, TraceBuilder};
-use ede_sim::runner::{raw_output, run_program};
+use ede_sim::runner::{raw_output, run_program, RunResult};
 use ede_sim::SimConfig;
 
 pub fn main() {
+    let _ = run();
+}
+
+/// Builds and runs the example, returning every simulation result (the
+/// smoke test asserts they are non-trivial and fully attributed).
+pub fn run() -> Vec<RunResult> {
     // The paper's Figure 1 scenario: three independent persistent
     // updates, each requiring "log entry persists before data store".
     let nvm = 0x1_0000_0000u64;
@@ -50,6 +56,7 @@ pub fn main() {
     print!("{}", disasm::listing(&ede));
 
     let sim = SimConfig::a72();
+    let mut results = Vec::new();
     let base = run_program("quickstart", raw_output(fenced), ArchConfig::Baseline, &sim)
         .expect("fenced run completes");
     println!("\nbaseline (DSB):      {:>6} cycles", base.cycles);
@@ -67,5 +74,8 @@ pub fn main() {
         // The hardware honored every execution dependence.
         let violations = ede_core::ordering::check_execution_deps(&r.output.program, &r.timings);
         assert!(violations.is_empty());
+        results.push(r);
     }
+    results.push(base);
+    results
 }

@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release --example timeline`
 
 use ede_isa::{ArchConfig, Edk, InstKind, Program, TraceBuilder};
-use ede_sim::runner::{raw_output, run_program};
+use ede_sim::runner::{raw_output, run_program, RunResult};
 use ede_sim::SimConfig;
 
 const NVM: u64 = 0x1_0000_0000;
@@ -33,7 +33,7 @@ fn update_programs(ede: bool) -> Program {
     b.finish()
 }
 
-fn show(label: &str, program: Program, arch: ArchConfig) -> u64 {
+fn show(label: &str, program: Program, arch: ArchConfig) -> RunResult {
     let sim = SimConfig::a72();
     let r = run_program(label, raw_output(program), arch, &sim).expect("run completes");
     println!("\n=== {label} — {} cycles ===", r.cycles);
@@ -54,10 +54,16 @@ fn show(label: &str, program: Program, arch: ArchConfig) -> u64 {
             );
         }
     }
-    r.cycles
+    r
 }
 
 pub fn main() {
+    let _ = run();
+}
+
+/// Builds and runs the example, returning every simulation result (the
+/// smoke test asserts they are non-trivial and fully attributed).
+pub fn run() -> Vec<RunResult> {
     println!(
         "Figure 3 / Figure 8: three independent updates. Each needs its\n\
          log persist (dc cvap of the slot) to complete before its data\n\
@@ -67,7 +73,10 @@ pub fn main() {
     let iq = show("IQ: EDE at the issue queue", update_programs(true), ArchConfig::IssueQueue);
     let wb = show("WB: EDE at the write buffer", update_programs(true), ArchConfig::WriteBuffer);
 
-    println!("\nsummary: B {fenced} cycles, IQ {iq} cycles, WB {wb} cycles");
+    println!(
+        "\nsummary: B {} cycles, IQ {} cycles, WB {} cycles",
+        fenced.cycles, iq.cycles, wb.cycles
+    );
     println!(
         "The DSB timeline shows the paper's serialized phases. IQ barely\n\
          helps on this store-only snippet — exactly Figure 8(b)'s lesson:\n\
@@ -76,4 +85,5 @@ pub fn main() {
          it. WB lets the stores retire and orders only the pushes,\n\
          approaching the ideal timeline of Figure 8(a)."
     );
+    vec![fenced, iq, wb]
 }

@@ -5,11 +5,18 @@
 
 use ede_isa::ArchConfig;
 use ede_nvm::{CrashChecker, Layout, TxWriter};
-use ede_sim::runner::run_program;
+use ede_sim::runner::{run_program, RunResult};
 use ede_sim::SimConfig;
 
 pub fn main() {
+    let _ = run();
+}
+
+/// Builds and runs the example, returning every simulation result (the
+/// smoke test asserts they are non-trivial and fully attributed).
+pub fn run() -> Vec<RunResult> {
     let sim = SimConfig::a72();
+    let mut results = Vec::new();
     println!("p_array[0..3] updated inside one failure-atomic transaction\n");
     println!(
         "{:4} {:>8} {:>8}  {:>7}  crash-safe at every instant?",
@@ -56,9 +63,11 @@ pub fn main() {
             fences,
             verdict
         );
+        results.push(r);
     }
     println!(
         "\nEDE (IQ/WB) needs no fences inside the transaction, yet recovery\n\
          succeeds at every possible crash instant — the point of the paper."
     );
+    results
 }

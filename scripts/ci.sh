@@ -64,6 +64,43 @@ cargo run --release --offline -q -p ede-check --bin ede-sim -- \
     inject --seed 1 --cases 2 --jobs 4 2>/dev/null > "$out_dir/inject_j4.json"
 diff "$out_dir/inject_j1.json" "$out_dir/inject_j4.json"
 diff "$out_dir/inject.json" "$out_dir/inject_j1.json"
+
+# Observability smoke: trace one litmus program on EDE hardware, then
+# re-validate the emitted ede.metrics.v1 document with the in-repo shape
+# checker (schema tag, exhaustive stall taxonomy, busy + causes == total
+# == cycles on every stage).
+echo "==> trace smoke (hazard on WB) + validate-metrics"
+cargo run --release --offline -q -p ede-check --bin ede-sim -- \
+    trace --litmus hazard --arch WB --quiet \
+    --metrics "$out_dir/trace_metrics.json" --chrome "$out_dir/trace_chrome.json"
+cargo run --release --offline -q -p ede-check --bin ede-sim -- \
+    validate-metrics "$out_dir/trace_metrics.json"
+
+# Campaign metrics must be byte-identical however many workers the fuzz
+# scan used (the registry comes from a sequential replay by construction).
+echo "==> metrics determinism (--jobs 1 vs --jobs 4)"
+cargo run --release --offline -q -p ede-check --bin ede-sim -- \
+    fuzz --seed 7 --cases 40 --jobs 1 --metrics "$out_dir/metrics_j1.json" \
+    2>/dev/null > /dev/null
+cargo run --release --offline -q -p ede-check --bin ede-sim -- \
+    fuzz --seed 7 --cases 40 --jobs 4 --metrics "$out_dir/metrics_j4.json" \
+    2>/dev/null > /dev/null
+diff "$out_dir/metrics_j1.json" "$out_dir/metrics_j4.json"
+
+# Zero-overhead guard. The tracer is Option-gated: an untraced core
+# allocates no ring and pushes no events (asserted by unit test
+# `untraced_core_buffers_nothing`, and `tracing_does_not_change_metrics`
+# pins that attaching one changes no result). As a coarse wall-clock
+# backstop, the standard fuzz smoke above — which runs untraced — must
+# finish inside a generous absolute budget; a tracer accidentally wired
+# into the untraced path would blow it.
+echo "==> zero-overhead guard (untraced fuzz smoke under 120s)"
+start=$(date +%s)
+cargo run --release --offline -q -p ede-check --bin ede-sim -- \
+    fuzz --seed 3 --cases 100 --jobs 2 2>/dev/null > /dev/null
+elapsed=$(( $(date +%s) - start ))
+echo "    untraced fuzz smoke: ${elapsed}s"
+[ "$elapsed" -le 120 ]
 rm -rf "$out_dir"
 
 echo "==> OK"

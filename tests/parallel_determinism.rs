@@ -4,11 +4,13 @@
 //! thread pool is pure mechanism; if any of these assertions fails, a
 //! scheduling decision has leaked into an output.
 
-use ede_check::fuzz::{fuzz, FuzzOptions};
-use ede_cpu::FaultInjection;
+use ede_check::fuzz::{campaign_metrics, fuzz, FuzzOptions};
+use ede_check::litmus;
+use ede_cpu::{FaultInjection, TracerConfig};
+use ede_isa::ArchConfig;
 use ede_sim::experiment::{fig10_with, fig9_with, ExperimentConfig};
 use ede_sim::report::{fig10_json, fig9_json};
-use ede_sim::SimConfig;
+use ede_sim::{chrome_trace_json, metrics_json, raw_output, run_program_observed, SimConfig};
 use ede_util::pool;
 use ede_workloads::{btree::BTree, update::Update, Workload, WorkloadParams};
 
@@ -86,6 +88,60 @@ fn failing_fuzz_report_is_identical_across_job_counts() {
     assert!(!failure.cmds.is_empty());
     for jobs in JOB_COUNTS {
         assert_eq!(fuzz(&opts(jobs)), baseline, "failure diverged at jobs {jobs}");
+    }
+}
+
+/// The `ede.metrics.v1` document and the Chrome-trace timeline for one
+/// traced run: byte-identical across repeated same-seed runs. A single
+/// run uses no pool, so the repeats are the determinism axis here —
+/// the campaign test below covers the `--jobs` axis.
+#[test]
+fn trace_artifacts_are_byte_identical_across_repeats() {
+    let render = |arch: ArchConfig| {
+        let program = litmus::program("join").unwrap();
+        let (r, rec, tracer) = run_program_observed(
+            "join",
+            raw_output(program.clone()),
+            arch,
+            &SimConfig::a72(),
+            TracerConfig::default(),
+        )
+        .unwrap();
+        (
+            metrics_json(&r),
+            chrome_trace_json(&r, &rec),
+            litmus::render_events(&program, tracer.events()),
+        )
+    };
+    for arch in [ArchConfig::Baseline, ArchConfig::IssueQueue, ArchConfig::WriteBuffer] {
+        let baseline = render(arch);
+        for rep in 0..2 {
+            assert_eq!(render(arch), baseline, "run diverged on {arch} repeat {rep}");
+        }
+    }
+}
+
+/// The fuzz campaign-metrics registry — a sequential replay by
+/// construction — serializes identically however many workers the
+/// scan itself used, and across repeats.
+#[test]
+fn campaign_metrics_are_byte_identical_across_job_counts() {
+    let opts = |jobs| FuzzOptions {
+        seed: 0xA11CE,
+        cases: 6,
+        max_cmds: 12,
+        jobs,
+        ..FuzzOptions::default()
+    };
+    let baseline = {
+        let report = fuzz(&opts(1));
+        assert!(report.failure.is_none(), "{:?}", report.failure);
+        campaign_metrics(&opts(1), report.cases_run, 4).to_json()
+    };
+    for jobs in JOB_COUNTS {
+        let report = fuzz(&opts(jobs));
+        let json = campaign_metrics(&opts(jobs), report.cases_run, 4).to_json();
+        assert_eq!(json, baseline, "campaign metrics diverged at jobs {jobs}");
     }
 }
 
