@@ -1,0 +1,114 @@
+//! `fastforward` — measures the wall-clock effect of the quiescence-aware
+//! fast-forward kernel (`CpuConfig::fast_forward`) on the idle-heavy
+//! Figure 11 experiment and records it as `BENCH_fastforward.json`.
+//!
+//! ```text
+//! fastforward [OUTPUT.json]      # default: BENCH_fastforward.json
+//! ```
+//!
+//! Runs the same fixed-seed Figure 11 grid twice — once on the reference
+//! per-cycle path (`fast_forward = false`) and once on the default
+//! fast-forward path — and writes both measurements plus their ratio.
+//! Before timing anything, the two paths' full JSON reports are asserted
+//! byte-identical, so a divergence can never hide inside a timing
+//! artifact: only the wall-clock is allowed to move.
+//!
+//! Knobs: `EDE_OPS` (default 200 operations per application) and
+//! `EDE_BENCH_SAMPLES` via the usual Criterion environment handling.
+//! `host_parallelism` is recorded so a reader can judge the ratio in
+//! context; the runs themselves are sequential (`jobs = 1`) so the
+//! measurement isolates the simulator, not the thread pool.
+
+use ede_sim::experiment::{fig11, ExperimentConfig};
+use ede_sim::{report, run_workload};
+use ede_util::bench::{Criterion, Measurement};
+use std::time::Duration;
+
+/// The idle-heavy cells of the grid: the fenced baseline stalls the whole
+/// pipeline on every `DSB SY` for a full NVM round trip, which is exactly
+/// the span population the kernel skips. Returns total simulated cycles
+/// so the two paths can be cross-checked.
+fn baseline_pass(cfg: &ExperimentConfig) -> u64 {
+    ede_workloads::standard_suite()
+        .iter()
+        .map(|w| {
+            run_workload(w.as_ref(), &cfg.params, ede_isa::ArchConfig::Baseline, &cfg.sim)
+                .expect("baseline run completes")
+                .cycles
+        })
+        .sum()
+}
+
+fn stats_json(m: &Measurement) -> String {
+    format!(
+        "{{ \"mean_ns\": {:.0}, \"min_ns\": {:.0}, \"max_ns\": {:.0}, \
+         \"samples\": {}, \"iters\": {} }}",
+        m.mean_ns, m.min_ns, m.max_ns, m.samples, m.iters
+    )
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_fastforward.json".to_string());
+    let mut cfg = ede_bench::bench_experiment();
+    cfg.jobs = 1;
+    let mut reference_cfg = cfg.clone();
+    reference_cfg.sim.cpu.fast_forward = false;
+    let host = std::thread::available_parallelism().map_or(1, usize::from);
+
+    // Differential gate first: the kernel must be observably invisible.
+    eprintln!(
+        "fastforward: fig11 grid, {} ops per app, host parallelism {host}",
+        cfg.params.ops
+    );
+    let fast_report = report::fig11_json(&fig11(&cfg).expect("fast path completes"));
+    let reference_report =
+        report::fig11_json(&fig11(&reference_cfg).expect("reference path completes"));
+    assert_eq!(
+        fast_report, reference_report,
+        "fast-forward and reference paths disagree on the fig11 report"
+    );
+
+    let mut c = Criterion::default()
+        .warm_up_time(Duration::from_millis(1))
+        .measurement_time(Duration::from_millis(1))
+        .sample_size(3);
+    let reference = c.bench_measured("fig11/reference", |b| {
+        b.iter(|| fig11(&reference_cfg).expect("reference path completes"))
+    });
+    let fast = c.bench_measured("fig11/fast-forward", |b| {
+        b.iter(|| fig11(&cfg).expect("fast path completes"))
+    });
+
+    assert_eq!(
+        baseline_pass(&cfg),
+        baseline_pass(&reference_cfg),
+        "fast-forward and reference paths disagree on baseline cycle counts"
+    );
+    let base_reference =
+        c.bench_measured("fig11-baseline/reference", |b| b.iter(|| baseline_pass(&reference_cfg)));
+    let base_fast =
+        c.bench_measured("fig11-baseline/fast-forward", |b| b.iter(|| baseline_pass(&cfg)));
+
+    let speedup = reference.mean_ns / fast.mean_ns;
+    let baseline_speedup = base_reference.mean_ns / base_fast.mean_ns;
+    let json = format!(
+        "{{\n  \"bench\": \"fig11-fastforward\",\n  \"ops\": {},\n  \
+         \"host_parallelism\": {host},\n  \"jobs\": 1,\n  \
+         \"reports_identical\": true,\n  \
+         \"reference\": {},\n  \"fast_forward\": {},\n  \"speedup\": {speedup:.3},\n  \
+         \"baseline_reference\": {},\n  \"baseline_fast_forward\": {},\n  \
+         \"baseline_speedup\": {baseline_speedup:.3}\n}}\n",
+        cfg.params.ops,
+        stats_json(&reference),
+        stats_json(&fast),
+        stats_json(&base_reference),
+        stats_json(&base_fast),
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark artifact");
+    println!(
+        "speedup: {speedup:.3}x full grid, {baseline_speedup:.3}x on the idle-heavy \
+         baseline cells -> {out_path}"
+    );
+}

@@ -3,13 +3,13 @@
 //! ```text
 //! ede-sim fuzz   [--seed N] [--cases N] [--max-cmds N] [--arch B,IQ,WB]
 //!                [--fault NAME[:N]] [--shrink-iters N] [--jobs N]
-//!                [--progress N] [--metrics PATH]
+//!                [--progress N] [--metrics PATH] [--no-fast-forward]
 //! ede-sim inject [--seed N] [--cases N] [--max-cmds N] [--arch B,IQ,WB]
 //!                [--fault NAME[:N],NAME,...] [--shrink-iters N]
 //!                [--jobs N] [--progress N] [--disable-detectors]
-//!                [--metrics PATH]
+//!                [--metrics PATH] [--no-fast-forward]
 //! ede-sim trace  [--litmus NAME] [--arch B] [--metrics PATH]
-//!                [--chrome PATH] [--quiet]
+//!                [--chrome PATH] [--quiet] [--no-fast-forward]
 //! ede-sim validate-metrics PATH
 //! ```
 //!
@@ -44,6 +44,12 @@
 //! `--jobs` selects worker threads (0 = auto via `EDE_JOBS` or the host
 //! parallelism). stdout is byte-identical for every job count; worker
 //! progress (`--progress N`, 0 = silent) goes to stderr only.
+//!
+//! `--no-fast-forward` disables the core's quiescence-aware fast-forward
+//! kernel, running the reference per-cycle simulation path instead.
+//! Every output — reports, metrics documents, rendered traces — is
+//! byte-identical with and without it (the differential test suite pins
+//! this); the flag exists to run the reference path directly.
 
 use ede_check::fuzz::{campaign_metrics, fuzz, FuzzOptions};
 use ede_check::inject::{inject, InjectOptions};
@@ -60,12 +66,13 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: ede-sim fuzz   [--seed N] [--cases N] [--max-cmds N] \
          [--arch B,IQ,WB] [--fault NAME[:N]] [--shrink-iters N] \
-         [--jobs N] [--progress N] [--metrics PATH]\n\
+         [--jobs N] [--progress N] [--metrics PATH] [--no-fast-forward]\n\
          \u{20}      ede-sim inject [--seed N] [--cases N] [--max-cmds N] \
          [--arch B,IQ,WB] [--fault NAME[:N],...] [--shrink-iters N] \
-         [--jobs N] [--progress N] [--disable-detectors] [--metrics PATH]\n\
+         [--jobs N] [--progress N] [--disable-detectors] [--metrics PATH] \
+         [--no-fast-forward]\n\
          \u{20}      ede-sim trace  [--litmus NAME] [--arch B] \
-         [--metrics PATH] [--chrome PATH] [--quiet]\n\
+         [--metrics PATH] [--chrome PATH] [--quiet] [--no-fast-forward]\n\
          \u{20}      ede-sim validate-metrics PATH\n\
          faults: {}\n\
          litmus: {}",
@@ -105,6 +112,10 @@ fn run_fuzz(args: &[String]) -> Option<ExitCode> {
     let mut metrics_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
+        if flag == "--no-fast-forward" {
+            opts.fast_forward = false;
+            continue;
+        }
         let value = it.next()?;
         let ok = match flag.as_str() {
             "--metrics" => {
@@ -203,6 +214,10 @@ fn run_inject(args: &[String]) -> Option<ExitCode> {
             opts.detectors_enabled = false;
             continue;
         }
+        if flag == "--no-fast-forward" {
+            opts.fast_forward = false;
+            continue;
+        }
         let value = it.next()?;
         let ok = match flag.as_str() {
             "--metrics" => {
@@ -283,10 +298,15 @@ fn run_trace(args: &[String]) -> Option<ExitCode> {
     let mut metrics_path: Option<String> = None;
     let mut chrome_path: Option<String> = None;
     let mut quiet = false;
+    let mut fast_forward = true;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         if flag == "--quiet" {
             quiet = true;
+            continue;
+        }
+        if flag == "--no-fast-forward" {
+            fast_forward = false;
             continue;
         }
         let value = it.next()?;
@@ -302,11 +322,13 @@ fn run_trace(args: &[String]) -> Option<ExitCode> {
         eprintln!("unknown litmus program {name:?} (have: {})", litmus::NAMES.join(", "));
         None
     })?;
+    let mut sim = SimConfig::a72();
+    sim.cpu.fast_forward = fast_forward;
     let (result, rec, tracer) = run_program_observed(
         &name,
         raw_output(program.clone()),
         arch,
-        &SimConfig::a72(),
+        &sim,
         TracerConfig::default(),
     )
     .unwrap_or_else(|e| {

@@ -48,6 +48,11 @@ pub struct FuzzOptions {
     /// (0 = silent). stdout is untouched, so parallel and sequential
     /// sessions stay byte-comparable.
     pub progress_every: u32,
+    /// Quiescence-aware fast-forwarding in each simulated run (see
+    /// [`ede_cpu::CpuConfig::fast_forward`]). Every report and metrics
+    /// document is byte-identical either way; `false` selects the
+    /// reference per-cycle path (`--no-fast-forward` in the CLI).
+    pub fast_forward: bool,
 }
 
 impl Default for FuzzOptions {
@@ -65,6 +70,7 @@ impl Default for FuzzOptions {
             max_shrink_iters: 4096,
             jobs: 0,
             progress_every: 0,
+            fast_forward: true,
         }
     }
 }
@@ -101,26 +107,39 @@ pub struct FuzzReport {
 /// budget small enough that a deadlocked candidate fails fast during
 /// shrinking yet generous for any generated program (which retires in
 /// tens of thousands of cycles at worst).
-fn fuzz_sim(fault: Option<FaultInjection>) -> SimConfig {
+fn fuzz_sim(fault: Option<FaultInjection>, fast_forward: bool) -> SimConfig {
     let mut sim = SimConfig::a72();
     sim.max_cycles = 2_000_000;
     // Pipeline faults are read by the core, memory-system faults by the
     // controller; setting both lets one flag inject either layer.
     sim.cpu.fault = fault;
     sim.mem.fault = fault;
+    sim.cpu.fast_forward = fast_forward;
     sim
 }
 
 /// Checks one command list on one architecture; returns conformance
-/// diffs (empty = conformant).
+/// diffs (empty = conformant). Runs with fast-forwarding on (the
+/// default); [`diff_case_ff`] selects the path explicitly.
 pub fn diff_case(cmds: &[Cmd], arch: ArchConfig, fault: Option<FaultInjection>) -> Vec<String> {
+    diff_case_ff(cmds, arch, fault, true)
+}
+
+/// [`diff_case`] with an explicit fast-forward selection, for the
+/// differential fast-vs-reference suite.
+pub fn diff_case_ff(
+    cmds: &[Cmd],
+    arch: ArchConfig,
+    fault: Option<FaultInjection>,
+    fast_forward: bool,
+) -> Vec<String> {
     let program = concretize(cmds);
     let golden = match golden::run(&program, &GoldenConfig::default()) {
         Ok(g) => g,
         // A generator bug, not a pipeline bug — still a failure.
         Err(e) => return vec![format!("golden model rejected the program: {e}")],
     };
-    let sim = fuzz_sim(fault);
+    let sim = fuzz_sim(fault, fast_forward);
     match run_program_traced("fuzz", raw_output(program), arch, &sim) {
         Ok((result, rec)) => check_run(&result, &rec, &golden),
         Err(e) => vec![format!("pipeline did not complete: {e:?}")],
@@ -148,7 +167,7 @@ pub fn campaign_metrics(opts: &FuzzOptions, cases_run: u32, sample: u32) -> Regi
     let n = cases_run.min(sample);
     let mut seeds = SplitMix64::new(mix64(opts.seed));
     let strat = cmds_strategy(opts.max_cmds);
-    let sim = fuzz_sim(opts.fault);
+    let sim = fuzz_sim(opts.fault, opts.fast_forward);
     let mut runs = 0u64;
     for _case in 0..n {
         let case_seed = seeds.next_u64();
@@ -177,17 +196,18 @@ fn case_failure(opts: &FuzzOptions, case: u32) -> FuzzFailure {
     let strat = cmds_strategy(opts.max_cmds);
     let mut rng = SmallRng::seed_from_u64(case_seed);
     let sh = strat.generate(&mut rng);
+    let ff = opts.fast_forward;
     let arch = opts
         .archs
         .iter()
         .copied()
-        .find(|&arch| !diff_case(&sh.value, arch, opts.fault).is_empty())
+        .find(|&arch| !diff_case_ff(&sh.value, arch, opts.fault, ff).is_empty())
         .expect("the recorded case must still fail on regeneration");
     let fault = opts.fault;
     let (cmds, shrink_steps) = minimize(sh, opts.max_shrink_iters, |cmds| {
-        !diff_case(cmds, arch, fault).is_empty()
+        !diff_case_ff(cmds, arch, fault, ff).is_empty()
     });
-    let diffs = diff_case(&cmds, arch, fault);
+    let diffs = diff_case_ff(&cmds, arch, fault, ff);
     let program = concretize(&cmds);
     FuzzFailure {
         case,
@@ -234,7 +254,7 @@ pub fn fuzz(opts: &FuzzOptions) -> FuzzReport {
             let failed = opts
                 .archs
                 .iter()
-                .any(|&arch| !diff_case(&sh.value, arch, opts.fault).is_empty());
+                .any(|&arch| !diff_case_ff(&sh.value, arch, opts.fault, opts.fast_forward).is_empty());
             done += 1;
             if failed {
                 violations += 1;

@@ -80,6 +80,11 @@ pub struct InjectOptions {
     /// untouched, so parallel and sequential sessions stay
     /// byte-comparable.
     pub progress_every: u32,
+    /// Quiescence-aware fast-forwarding in each simulated run (see
+    /// [`ede_cpu::CpuConfig::fast_forward`]). The report is
+    /// byte-identical either way; `false` selects the reference
+    /// per-cycle path (`--no-fast-forward` in the CLI).
+    pub fast_forward: bool,
 }
 
 impl Default for InjectOptions {
@@ -94,6 +99,7 @@ impl Default for InjectOptions {
             max_shrink_iters: 4096,
             detectors_enabled: true,
             progress_every: 0,
+            fast_forward: true,
         }
     }
 }
@@ -256,12 +262,13 @@ impl InjectReport {
 /// cycle budget generous for any probe program, and a watchdog tight
 /// enough that a fault-induced hang is diagnosed well under the budget
 /// (the longest legitimate stall is a few media-write latencies).
-fn inject_sim(fault: Option<FaultInjection>) -> SimConfig {
+fn inject_sim(fault: Option<FaultInjection>, fast_forward: bool) -> SimConfig {
     let mut sim = SimConfig::a72();
     sim.max_cycles = 2_000_000;
     sim.cpu.watchdog_cycles = 50_000;
     sim.cpu.fault = fault;
     sim.mem.fault = fault;
+    sim.cpu.fast_forward = fast_forward;
     sim
 }
 
@@ -299,11 +306,17 @@ fn projection(result: &RunResult) -> Projection {
 /// Runs one conformance-probe case: the generated program with the
 /// fault injected, checked by the axioms (when enabled) and compared
 /// against a fault-free run of the same program.
-fn conformance_case(cmds: &[Cmd], arch: ArchConfig, fault: FaultInjection, detectors: bool) -> Outcome {
+fn conformance_case(
+    cmds: &[Cmd],
+    arch: ArchConfig,
+    fault: FaultInjection,
+    detectors: bool,
+    ff: bool,
+) -> Outcome {
     let program = concretize(cmds);
     let golden = golden::run(&program, &GoldenConfig::default())
         .expect("the generator only emits programs the golden model accepts");
-    let faulty = run_program_traced("inject", raw_output(program.clone()), arch, &inject_sim(Some(fault)));
+    let faulty = run_program_traced("inject", raw_output(program.clone()), arch, &inject_sim(Some(fault), ff));
     match faulty {
         Err(e) if e.is_deadlock() => Outcome::Watchdog,
         Err(_) => Outcome::CycleLimit,
@@ -312,7 +325,7 @@ fn conformance_case(cmds: &[Cmd], arch: ArchConfig, fault: FaultInjection, detec
                 return Outcome::Conformance;
             }
             let (clean, _) =
-                run_program_traced("inject", raw_output(program), arch, &inject_sim(None))
+                run_program_traced("inject", raw_output(program), arch, &inject_sim(None, ff))
                     .expect("fault-free probe programs complete");
             if projection(&result) == projection(&clean) {
                 Outcome::Tolerated
@@ -387,10 +400,10 @@ fn media_mutate(fault: FaultInjection, seed: u64, layout: &Layout, image: &mut N
 /// injected into the memory system, unless it is a media fault) whose
 /// every reachable crash image is recovered and checked — media faults
 /// corrupt each image first.
-fn crash_case(case_seed: u64, arch: ArchConfig, fault: FaultInjection, detectors: bool) -> Outcome {
+fn crash_case(case_seed: u64, arch: ArchConfig, fault: FaultInjection, detectors: bool, ff: bool) -> Outcome {
     let out = tx_case_program(case_seed, arch);
     let sim_fault = if fault.is_media() { None } else { Some(fault) };
-    match run_program("inject-crash", out, arch, &inject_sim(sim_fault)) {
+    match run_program("inject-crash", out, arch, &inject_sim(sim_fault, ff)) {
         Err(e) if e.is_deadlock() => Outcome::Watchdog,
         Err(_) => Outcome::CycleLimit,
         Ok(result) => {
@@ -418,17 +431,24 @@ fn crash_case(case_seed: u64, arch: ArchConfig, fault: FaultInjection, detectors
 /// detection wins outright; otherwise the crash probe (where the fault's
 /// layer warrants one) may still detect; a conformance-probe silent
 /// corruption stands only if no probe detected the fault.
-fn run_case(cmds: &[Cmd], case_seed: u64, fault: FaultInjection, arch: ArchConfig, detectors: bool) -> Outcome {
+fn run_case(
+    cmds: &[Cmd],
+    case_seed: u64,
+    fault: FaultInjection,
+    arch: ArchConfig,
+    detectors: bool,
+    ff: bool,
+) -> Outcome {
     let conf = match fault.layer() {
         FaultLayer::Media => None,
-        _ => Some(conformance_case(cmds, arch, fault, detectors)),
+        _ => Some(conformance_case(cmds, arch, fault, detectors, ff)),
     };
     if let Some(o @ (Outcome::Conformance | Outcome::Watchdog | Outcome::CycleLimit)) = conf {
         return o;
     }
     let crash = match fault.layer() {
         FaultLayer::Pipeline => None,
-        _ => Some(crash_case(case_seed, arch, fault, detectors)),
+        _ => Some(crash_case(case_seed, arch, fault, detectors, ff)),
     };
     match (conf, crash) {
         (_, Some(o @ (Outcome::Watchdog | Outcome::CycleLimit | Outcome::CrashChecker))) => o,
@@ -464,7 +484,7 @@ fn run_cell(opts: &InjectOptions, cell_index: usize, fault: FaultInjection, arch
         let case_seed = seeds.next_u64();
         let mut rng = SmallRng::seed_from_u64(case_seed);
         let sh = strat.generate(&mut rng);
-        match run_case(&sh.value, case_seed, fault, arch, opts.detectors_enabled) {
+        match run_case(&sh.value, case_seed, fault, arch, opts.detectors_enabled, opts.fast_forward) {
             Outcome::Conformance => report.conformance += 1,
             Outcome::Watchdog => report.watchdog += 1,
             Outcome::CycleLimit => report.cycle_limit += 1,
@@ -506,8 +526,9 @@ fn silent_failure(
     let mut rng = SmallRng::seed_from_u64(case_seed);
     let sh = strat.generate(&mut rng);
     let detectors = opts.detectors_enabled;
+    let ff = opts.fast_forward;
     let (cmds, shrink_steps) = minimize(sh, opts.max_shrink_iters, |cmds| {
-        conformance_case(cmds, arch, fault, detectors) == Outcome::Silent
+        conformance_case(cmds, arch, fault, detectors, ff) == Outcome::Silent
     });
     let program = concretize(&cmds);
     InjectFailure {
@@ -618,7 +639,7 @@ mod tests {
         let failure = report.failure.expect("undetected corruption must surface");
         assert!(!failure.cmds.is_empty());
         assert!(
-            conformance_case(&failure.cmds, failure.arch, failure.fault, false)
+            conformance_case(&failure.cmds, failure.arch, failure.fault, false, true)
                 == Outcome::Silent,
             "the shrunk reproducer still corrupts silently"
         );

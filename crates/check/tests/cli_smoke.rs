@@ -81,6 +81,57 @@ fn injected_fault_exits_2_with_identical_stdout_across_jobs() {
 }
 
 #[test]
+fn no_fast_forward_flag_leaves_fuzz_stdout_identical() {
+    // The fast-forward kernel must be observably invisible: disabling
+    // it changes wall-clock time, never a byte of output.
+    let run = |extra: &[&str]| {
+        let mut args = vec!["fuzz", "--seed", "3", "--cases", "20", "--max-cmds", "15"];
+        args.extend_from_slice(extra);
+        let out = ede_sim(&args);
+        assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+        out.stdout
+    };
+    assert_eq!(run(&["--no-fast-forward"]), run(&[]));
+}
+
+#[test]
+fn no_fast_forward_flag_leaves_inject_stdout_identical_across_jobs() {
+    // Same contract for the fault-injection campaign, crossed with the
+    // parallel-execution contract: every (path, jobs) combination must
+    // print the identical campaign report.
+    let run = |extra: &[&str]| {
+        let mut args = vec![
+            "inject", "--seed", "1", "--cases", "1", "--max-cmds", "12",
+            "--fault", "drop-edeps,weak-dsb",
+        ];
+        args.extend_from_slice(extra);
+        let out = ede_sim(&args);
+        // Disabled-detector faults make the campaign exit 2 with a
+        // reproducer; either way stdout must match across variants.
+        assert!(
+            matches!(out.status.code(), Some(0) | Some(2)),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    let baseline = run(&["--jobs", "1"]);
+    assert!(!baseline.is_empty(), "inject printed nothing");
+    assert_eq!(run(&["--jobs", "1", "--no-fast-forward"]), baseline);
+    assert_eq!(run(&["--jobs", "4"]), baseline);
+    assert_eq!(run(&["--jobs", "4", "--no-fast-forward"]), baseline);
+}
+
+#[test]
+fn trace_accepts_no_fast_forward() {
+    let fast = ede_sim(&["trace", "--litmus", "hazard", "--arch", "WB"]);
+    assert!(fast.status.success(), "stderr: {}", String::from_utf8_lossy(&fast.stderr));
+    let reference = ede_sim(&["trace", "--litmus", "hazard", "--arch", "WB", "--no-fast-forward"]);
+    assert!(reference.status.success());
+    assert_eq!(fast.stdout, reference.stdout, "trace output differs between paths");
+}
+
+#[test]
 fn bad_usage_exits_1() {
     assert_eq!(ede_sim(&["fuzz", "--jobs"]).status.code(), Some(1));
     assert_eq!(ede_sim(&["fuzz", "--jobs", "x"]).status.code(), Some(1));

@@ -71,6 +71,14 @@ pub struct CpuConfig {
     /// 128-slot persist buffer can cause (~32k cycles), and orders of
     /// magnitude below the experiment cycle limits it protects.
     pub watchdog_cycles: u64,
+    /// Quiescence-aware fast-forwarding: when a tick changes no
+    /// core-visible state and every stage is blocked on events whose
+    /// completion cycles are known, jump the clock straight to the next
+    /// event, bulk-accounting the skipped span. Every observable output
+    /// (stats, attribution, traces, errors) is identical either way —
+    /// the differential test suite enforces it byte for byte — so this
+    /// defaults to on; disable it to run the reference per-cycle path.
+    pub fast_forward: bool,
 }
 
 impl CpuConfig {
@@ -92,6 +100,7 @@ impl CpuConfig {
             edm_branch_checkpoints: false,
             fault: None,
             watchdog_cycles: 500_000,
+            fast_forward: true,
         }
     }
 
@@ -120,6 +129,7 @@ mod tests {
         assert_eq!(c.sq_entries, 16);
         assert_eq!(c.wb_entries, 16);
         assert_eq!(c.enforcement, None);
+        assert!(c.fast_forward);
     }
 
     #[test]

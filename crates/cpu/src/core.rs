@@ -10,6 +10,7 @@ use ede_core::ordering::InstTiming;
 use ede_core::{EnforcementPoint, InFlightEde, SpeculativeEdm};
 use ede_isa::{Edk, Inst, InstId, InstKind, Op, Program, Reg};
 use ede_mem::{ReqId, ReqKind};
+use ede_util::obs::Log2Histogram;
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap, HashMap, VecDeque};
 use std::fmt;
@@ -30,7 +31,7 @@ pub struct StallStats {
 }
 
 /// Result of a completed run.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct RunStats {
     /// Total simulated cycles.
     pub cycles: u64,
@@ -53,6 +54,9 @@ pub struct RunStats {
     /// Longest run of consecutive cycles the watchdog saw no forward
     /// progress (retirement, completion, or write-buffer drain).
     pub max_quiet_streak: u64,
+    /// Log2 histogram of every watchdog-quiet streak value observed (one
+    /// sample per no-progress cycle, valued at the streak length so far).
+    pub quiet_hist: Log2Histogram,
     /// Peak reorder-buffer occupancy.
     pub rob_peak: usize,
     /// Peak issue-queue occupancy.
@@ -84,6 +88,7 @@ impl RunStats {
         reg.set_gauge_max("cpu.iq.peak", self.iq_peak as i64);
         reg.set_gauge_max("cpu.wb.peak", self.wb_peak as i64);
         reg.set_gauge_max("cpu.watchdog.max_quiet_streak", self.max_quiet_streak as i64);
+        reg.merge_histogram("cpu.watchdog.quiet_streaks", &self.quiet_hist);
     }
 }
 
@@ -299,6 +304,20 @@ pub struct Core<M> {
     /// EDE source edges decoded so far (occurrence index for the
     /// `DropOneEdep` fault).
     edep_edge_count: u32,
+
+    /// Whether the current `tick` changed any core-visible state; reset
+    /// at the top of every tick and set at each primitive mutation site.
+    moved: bool,
+    /// When the last tick was fully quiescent, the `[Retire, Issue,
+    /// Dispatch]` stall causes it recorded — the certificate that lets
+    /// the fast-forward kernel replay the cycle in bulk.
+    quiet_causes: Option<[StallCause; 3]>,
+    quiet_hist: Log2Histogram,
+    /// Fast-forward spans taken (diagnostics; not part of `RunStats`).
+    ff_spans: u64,
+    /// Cycles skipped by fast-forward (diagnostics; not part of
+    /// `RunStats`).
+    ff_skipped: u64,
 }
 
 impl<M: MemPort> Core<M> {
@@ -352,6 +371,11 @@ impl<M: MemPort> Core<M> {
             observer: None,
             tracer: None,
             edep_edge_count: 0,
+            moved: false,
+            quiet_causes: None,
+            quiet_hist: Log2Histogram::new(),
+            ff_spans: 0,
+            ff_skipped: 0,
         }
     }
 
@@ -523,16 +547,113 @@ impl<M: MemPort> Core<M> {
                 last_progress = self.now;
             } else {
                 let streak = self.now - last_progress;
-                self.max_quiet_streak = self.max_quiet_streak.max(streak);
-                if let Some(tr) = &mut self.tracer {
-                    tr.quiet(self.now, streak);
-                }
+                self.note_quiet(streak);
                 if watchdog > 0 && streak >= watchdog {
                     return Err(self.diagnose_deadlock(last_progress));
                 }
             }
+            // Fast-forward: the tick just taken changed nothing and left
+            // every stage blocked, so the machine is a pure function of
+            // the clock until the next scheduled event. Jump there,
+            // crediting the skipped cycles with the identical accounting
+            // the reference path would have produced.
+            if self.cfg.fast_forward {
+                if let Some(causes) = self.quiet_causes {
+                    let mut target = match self.next_wake_cycle() {
+                        Some(e) => e.saturating_sub(1).min(max_cycles),
+                        None => max_cycles,
+                    };
+                    if watchdog > 0 {
+                        target = target.min(last_progress.saturating_add(watchdog));
+                    }
+                    if target > self.now {
+                        self.fast_forward_to(target, causes, last_progress);
+                        let streak = self.now - last_progress;
+                        if watchdog > 0 && streak >= watchdog {
+                            return Err(self.diagnose_deadlock(last_progress));
+                        }
+                    }
+                }
+            }
         }
         Ok(self.stats())
+    }
+
+    /// Records one watchdog-quiet cycle (streak high-water, histogram,
+    /// trace sample) exactly as the reference path does per cycle.
+    fn note_quiet(&mut self, streak: u64) {
+        self.max_quiet_streak = self.max_quiet_streak.max(streak);
+        self.quiet_hist.record(streak);
+        if let Some(tr) = &mut self.tracer {
+            tr.quiet(self.now, streak);
+        }
+    }
+
+    /// The earliest future cycle at which anything can happen to a fully
+    /// blocked core: a memory event, a functional-unit completion, or
+    /// fetch resuming after a squash.
+    fn next_wake_cycle(&self) -> Option<u64> {
+        let mut next = self.mem.next_event_cycle();
+        if let Some(&Reverse((cycle, _, _))) = self.fu_done.peek() {
+            next = Some(next.map_or(cycle, |n| n.min(cycle)));
+        }
+        if self.fetch_resume > self.now
+            && self.fetch_ptr < self.program.len()
+            && self.fetch_q.len() < self.cfg.fetch_width * 2
+        {
+            next = Some(next.map_or(self.fetch_resume, |n| n.min(self.fetch_resume)));
+        }
+        next
+    }
+
+    /// Jumps the clock from `self.now` to `target` (exclusive of further
+    /// events), bulk-accounting every skipped cycle exactly as the
+    /// per-cycle path would: stall attribution, zero-issue histogram,
+    /// quiet-streak tracking, and (at sampled cycles) the identical trace
+    /// events in the identical order.
+    fn fast_forward_to(&mut self, target: u64, causes: [StallCause; 3], last_progress: u64) {
+        debug_assert!(target > self.now);
+        let span = target - self.now;
+        self.attribution.record_span(StageId::Retire, causes[0], span);
+        self.attribution.record_span(StageId::Issue, causes[1], span);
+        self.attribution.record_span(StageId::Dispatch, causes[2], span);
+        self.issue_hist.record_n(0, span);
+        // Streak values across the span: (now+1 - lp) ..= (target - lp).
+        self.quiet_hist.record_run(self.now + 1 - last_progress, span);
+        self.max_quiet_streak = self.max_quiet_streak.max(target - last_progress);
+        self.ff_spans += 1;
+        self.ff_skipped += span;
+        // Occupancies cannot change across a quiescent span, so the peaks
+        // are already up to date; capture them for trace synthesis.
+        let (rob, iq, wb) = (
+            self.rob.len() as u32,
+            self.iq.len() as u32,
+            self.wbuf.len() as u32,
+        );
+        if let Some(tr) = &mut self.tracer {
+            let every = tr.config().sample_every.max(1);
+            let mut c = (self.now + 1).next_multiple_of(every);
+            while c <= target {
+                tr.stall(c, StageId::Retire, causes[0]);
+                tr.stall(c, StageId::Issue, causes[1]);
+                tr.stall(c, StageId::Dispatch, causes[2]);
+                tr.occupancy(c, rob, iq, wb);
+                tr.quiet(c, c - last_progress);
+                c += every;
+            }
+        }
+        self.now = target;
+    }
+
+    /// Fast-forward spans taken so far (diagnostics for tests; not part
+    /// of [`RunStats`], so both execution paths report identical stats).
+    pub fn fast_forward_spans(&self) -> u64 {
+        self.ff_spans
+    }
+
+    /// Cycles skipped by fast-forward so far (diagnostics for tests).
+    pub fn fast_forward_skipped(&self) -> u64 {
+        self.ff_skipped
     }
 
     /// The statistics accumulated so far (what [`run`](Self::run) returns
@@ -554,6 +675,7 @@ impl<M: MemPort> Core<M> {
             },
             attribution: self.attribution,
             max_quiet_streak: self.max_quiet_streak,
+            quiet_hist: self.quiet_hist.clone(),
             rob_peak: self.rob_peak,
             iq_peak: self.iq_peak,
             wb_peak: self.wb_peak,
@@ -578,6 +700,7 @@ impl<M: MemPort> Core<M> {
     /// conserves cycles by construction.
     pub fn tick(&mut self) {
         self.now += 1;
+        self.moved = false;
 
         self.handle_mem_responses();
         self.handle_fu_completions();
@@ -586,6 +709,9 @@ impl<M: MemPort> Core<M> {
         self.write_buffer_stage();
         let (issued, issue_block) = self.issue_stage();
         self.issue_hist.record(issued);
+        if issued > 0 {
+            self.moved = true;
+        }
         let dispatch_block = self.dispatch_stage();
         self.fetch_stage();
 
@@ -612,6 +738,17 @@ impl<M: MemPort> Core<M> {
                 self.wbuf.len() as u32,
             );
         }
+        // Quiescence certificate for the fast-forward kernel: nothing
+        // changed AND every stage reported a stall cause, so replaying
+        // this cycle is pure until the next scheduled event.
+        self.quiet_causes = if self.moved {
+            None
+        } else {
+            match (retire_block, issue_block, dispatch_block) {
+                (Some(r), Some(i), Some(d)) => Some([r, i, d]),
+                _ => None,
+            }
+        };
     }
 
     // ---- completion plumbing --------------------------------------------
@@ -621,6 +758,8 @@ impl<M: MemPort> Core<M> {
         if slot.state == State::Complete {
             return;
         }
+        self.moved = true;
+        let slot = &mut self.slots[id.index()];
         slot.state = State::Complete;
         slot.timing.complete = self.now;
         // Control instructions and fences have no observable effect other
@@ -685,6 +824,11 @@ impl<M: MemPort> Core<M> {
 
     fn handle_mem_responses(&mut self) {
         let resps = self.mem.tick(self.now);
+        if !resps.is_empty() {
+            // Even an all-stale batch changed `req_map`, so count it as
+            // activity (conservative for the fast-forward kernel).
+            self.moved = true;
+        }
         for resp in resps {
             let Some((id, epoch)) = self.req_map.remove(&resp.id) else {
                 continue;
@@ -711,6 +855,8 @@ impl<M: MemPort> Core<M> {
         if slot.state >= State::Executed {
             return;
         }
+        self.moved = true;
+        let slot = &mut self.slots[id.index()];
         slot.state = State::Executed;
         self.emit(id, PipeStage::Executed);
         if let Some(waiters) = self.reg_waiters.remove(&id) {
@@ -728,6 +874,9 @@ impl<M: MemPort> Core<M> {
             if cycle > self.now {
                 break;
             }
+            // A pop — even of a stale (squashed-epoch) entry — changes
+            // what future ticks will see, so it counts as activity.
+            self.moved = true;
             self.fu_done.pop();
             let id = InstId(raw);
             if self.slots[id.index()].epoch != epoch {
@@ -948,6 +1097,7 @@ impl<M: MemPort> Core<M> {
             self.emit(id, PipeStage::Retire);
         }
         if retired_now > 0 {
+            self.moved = true;
             None
         } else {
             // Every non-retiring path through the loop sets a cause.
@@ -1019,6 +1169,7 @@ impl<M: MemPort> Core<M> {
             self.slots[id.index()].timing.effect = self.now;
             self.emit(id, PipeStage::Drain);
             drained += 1;
+            self.moved = true;
         }
     }
 
@@ -1353,6 +1504,7 @@ impl<M: MemPort> Core<M> {
 
             self.rob.push_back(id);
             self.iq.push(id);
+            self.moved = true;
             self.emit(id, PipeStage::Dispatch);
         }
         // `block` is only ever set on a zero-dispatch cycle, and every
@@ -1375,10 +1527,12 @@ impl<M: MemPort> Core<M> {
             self.fetch_q.push_back(InstId(self.fetch_ptr as u64));
             self.fetch_ptr += 1;
             fetched += 1;
+            self.moved = true;
         }
     }
 
     fn squash(&mut self, branch: InstId) {
+        self.moved = true;
         self.squashes += 1;
         // Remove every younger instruction from the back of the ROB.
         while let Some(&id) = self.rob.back() {
@@ -1486,6 +1640,127 @@ mod tests {
     fn check_exec_deps(program: &Program, stats: &RunStats) {
         let v = ede_core::ordering::check_execution_deps(program, &stats.timings);
         assert!(v.is_empty(), "execution-dependence violations: {v:?}");
+    }
+
+    /// Runs `program` twice — fast-forward on and off — with a tracer
+    /// attached, and returns both outcomes plus the fast path's trace,
+    /// the reference trace, and the number of spans the fast path took.
+    #[allow(clippy::type_complexity)]
+    fn run_differential(
+        program: Program,
+        enforcement: Option<EnforcementPoint>,
+        max_cycles: u64,
+    ) -> (
+        Result<RunStats, CoreError>,
+        Result<RunStats, CoreError>,
+        (Vec<crate::trace::TraceEvent>, u64),
+        (Vec<crate::trace::TraceEvent>, u64),
+        u64,
+    ) {
+        let mut spans = 0;
+        let mut outs = Vec::new();
+        for fast in [true, false] {
+            let mut cfg = CpuConfig::a72();
+            cfg.enforcement = enforcement;
+            cfg.fast_forward = fast;
+            let mem = FixedLatencyMem::new(LOAD_LAT, ACK_LAT);
+            let mut core = Core::new(cfg, program.clone(), mem);
+            core.set_tracer(Tracer::new(crate::trace::TracerConfig::default()));
+            let res = core.run(max_cycles);
+            let tr = core.take_tracer().unwrap();
+            let dropped = tr.dropped();
+            if fast {
+                spans = core.fast_forward_spans();
+            }
+            outs.push((res, (tr.events().copied().collect::<Vec<_>>(), dropped)));
+        }
+        let (ref_res, ref_tr) = outs.pop().unwrap();
+        let (fast_res, fast_tr) = outs.pop().unwrap();
+        (fast_res, ref_res, fast_tr, ref_tr, spans)
+    }
+
+    /// An idle-heavy trace: persists with a DSB SY between them, so the
+    /// core spends most of its time blocked on the 50-cycle persist ack.
+    fn idle_heavy_trace() -> Program {
+        let mut b = TraceBuilder::new();
+        for i in 0..4u64 {
+            b.store(0x40 + i * 0x40, i);
+            b.cvap(0x40 + i * 0x40);
+            b.dsb_sy();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn fast_forward_skips_but_stats_are_identical() {
+        let (fast, reference, _, _, spans) =
+            run_differential(idle_heavy_trace(), None, 1_000_000);
+        assert!(spans > 0, "idle-heavy trace must trigger fast-forward");
+        assert_eq!(fast.unwrap(), reference.unwrap());
+    }
+
+    #[test]
+    fn fast_forward_trace_streams_are_identical() {
+        let (_, _, fast, reference, spans) =
+            run_differential(idle_heavy_trace(), None, 1_000_000);
+        assert!(spans > 0);
+        assert_eq!(fast.1, reference.1, "dropped counts differ");
+        assert_eq!(fast.0, reference.0, "trace event streams differ");
+    }
+
+    #[test]
+    fn fast_forward_cycle_limit_is_identical() {
+        // A limit that lands inside a quiet span: both paths must report
+        // the same CycleLimit error at the same cycle.
+        let (fast, reference, _, _, _) = run_differential(idle_heavy_trace(), None, 70);
+        assert_eq!(fast.unwrap_err(), reference.unwrap_err());
+        assert!(matches!(
+            run_differential(idle_heavy_trace(), None, 70).0.unwrap_err(),
+            CoreError::CycleLimit { .. }
+        ));
+    }
+
+    #[test]
+    fn fast_forward_off_takes_no_spans() {
+        let mut cfg = CpuConfig::a72();
+        cfg.fast_forward = false;
+        let mem = FixedLatencyMem::new(LOAD_LAT, ACK_LAT);
+        let mut core = Core::new(cfg, idle_heavy_trace(), mem);
+        core.run(1_000_000).unwrap();
+        assert_eq!(core.fast_forward_spans(), 0);
+        assert_eq!(core.fast_forward_skipped(), 0);
+    }
+
+    #[test]
+    fn fast_forward_respects_sampling_in_synthesized_trace() {
+        // With sample_every > 1 the synthesized quiet-span events must
+        // appear only at sampled cycles, exactly as per-cycle ticking
+        // would emit them.
+        let mut outs = Vec::new();
+        for fast in [true, false] {
+            let mut cfg = CpuConfig::a72();
+            cfg.fast_forward = fast;
+            let mem = FixedLatencyMem::new(LOAD_LAT, ACK_LAT);
+            let mut core = Core::new(cfg, idle_heavy_trace(), mem);
+            core.set_tracer(Tracer::new(crate::trace::TracerConfig {
+                capacity: 1 << 16,
+                sample_every: 7,
+            }));
+            core.run(1_000_000).unwrap();
+            let tr = core.take_tracer().unwrap();
+            outs.push((tr.events().copied().collect::<Vec<_>>(), tr.dropped()));
+        }
+        assert_eq!(outs[0], outs[1]);
+    }
+
+    #[test]
+    fn fast_forward_quiet_histogram_matches_reference() {
+        let (fast, reference, _, _, spans) =
+            run_differential(idle_heavy_trace(), None, 1_000_000);
+        assert!(spans > 0);
+        let (f, r) = (fast.unwrap(), reference.unwrap());
+        assert_eq!(f.quiet_hist, r.quiet_hist);
+        assert_eq!(f.max_quiet_streak, r.max_quiet_streak);
     }
 
     #[test]

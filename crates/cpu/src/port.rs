@@ -13,6 +13,15 @@ pub trait MemPort {
     fn try_access(&mut self, kind: ReqKind, addr: u64, now: u64) -> Option<ReqId>;
     /// Advances to `now`, returning responses due.
     fn tick(&mut self, now: u64) -> Vec<MemResp>;
+    /// The cycle of the earliest pending event (response delivery or
+    /// internal media completion), if any.
+    ///
+    /// The contract backing the core's fast-forward kernel: between the
+    /// current cycle and the returned one, `tick` must deliver nothing
+    /// and every core-observable query (notably [`can_accept`]
+    /// (Self::can_accept)) must return the same answer every cycle, so
+    /// a fully blocked core may skip its clock straight to this cycle.
+    fn next_event_cycle(&self) -> Option<u64>;
 }
 
 impl MemPort for MemSystem {
@@ -26,6 +35,10 @@ impl MemPort for MemSystem {
 
     fn tick(&mut self, now: u64) -> Vec<MemResp> {
         MemSystem::tick(self, now)
+    }
+
+    fn next_event_cycle(&self) -> Option<u64> {
+        MemSystem::next_event_cycle(self)
     }
 }
 
@@ -95,6 +108,10 @@ impl MemPort for FixedLatencyMem {
                 cycle: d,
             })
             .collect()
+    }
+
+    fn next_event_cycle(&self) -> Option<u64> {
+        self.inflight.iter().map(|&(due, _, _)| due).min()
     }
 }
 

@@ -237,6 +237,23 @@ impl StallTable {
         }
     }
 
+    /// Credits `cycles` consecutive blocked cycles to `(stage, cause)`
+    /// in one O(1) update — exactly equivalent to `cycles` calls of
+    /// [`record`](Self::record) with `Some(cause)`.
+    ///
+    /// Used by the fast-forward kernel: a skipped quiet span is, by
+    /// construction, a run of cycles in which each stage was blocked by
+    /// one constant cause, so the span's width lands on that cause
+    /// wholesale and [`conserved`](Self::conserved) still holds.
+    pub fn record_span(&mut self, stage: StageId, cause: StallCause, cycles: u64) {
+        let s = match stage {
+            StageId::Dispatch => &mut self.dispatch,
+            StageId::Issue => &mut self.issue,
+            StageId::Retire => &mut self.retire,
+        };
+        s.causes[cause.index()] += cycles;
+    }
+
     /// Whether every stage's attributed total equals `cycles` — the
     /// conservation invariant (`cycles == busy + Σ stall causes`).
     pub fn conserved(&self, cycles: u64) -> bool {

@@ -398,6 +398,19 @@ impl MemSystem {
         self.events.is_empty() && self.outstanding == 0
     }
 
+    /// The cycle of the earliest scheduled event (response delivery or
+    /// media-write completion), if any is pending.
+    ///
+    /// Between scheduled events the system's externally observable state
+    /// is frozen: [`tick`](Self::tick) pops nothing, [`can_accept`]
+    /// (Self::can_accept) cannot change, and no persist is recorded.
+    /// That freeze is what lets a caller that is itself quiescent jump
+    /// its clock straight to this cycle (the fast-forward kernel in
+    /// `ede-cpu`).
+    pub fn next_event_cycle(&self) -> Option<u64> {
+        self.events.peek().map(|Reverse(ev)| ev.cycle)
+    }
+
     /// Accumulated statistics.
     pub fn stats(&self) -> &MemStats {
         &self.stats
@@ -631,6 +644,22 @@ mod tests {
         );
         let trace = mem.into_trace();
         assert_eq!(trace.persists.len(), 3);
+    }
+
+    #[test]
+    fn next_event_cycle_tracks_the_heap_head() {
+        let c = cfg();
+        let mut mem = MemSystem::new(c.clone());
+        assert_eq!(mem.next_event_cycle(), None, "idle system has no horizon");
+        mem.try_access(ReqKind::Load, c.dram_base, 0).unwrap();
+        let due = mem.next_event_cycle().expect("a response is scheduled");
+        assert!(due > 0);
+        // Ticking short of the horizon delivers nothing and moves it
+        // nowhere; ticking exactly to it drains the event.
+        assert!(mem.tick(due - 1).is_empty());
+        assert_eq!(mem.next_event_cycle(), Some(due));
+        assert_eq!(mem.tick(due).len(), 1);
+        assert_eq!(mem.next_event_cycle(), None);
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub struct PersistEvent {
 }
 
 /// The combined event record of one simulation.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct PersistTrace {
     /// Store-visibility events, in nondecreasing cycle order.
     pub stores: Vec<StoreEvent>,

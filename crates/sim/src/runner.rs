@@ -235,10 +235,18 @@ fn run_program_inner(
     let tr = core.take_tracer();
     let mut mem = core.into_mem();
     // Drain in-flight media writes so the persist trace and the buffer
-    // occupancy histogram cover the whole run.
+    // occupancy histogram cover the whole run. Between scheduled events
+    // a tick is a no-op (the `next_event_cycle` freeze contract), so
+    // under fast-forward the loop jumps straight from event to event;
+    // persist-trace stamps use the event's own cycle either way.
+    let fast = sim.cpu.fast_forward;
     let mut now = stats.cycles;
     while !mem.idle() {
-        now += 1;
+        now = if fast {
+            mem.next_event_cycle().map_or(now + 1, |e| e.max(now + 1))
+        } else {
+            now + 1
+        };
         mem.tick(now);
     }
     let mem_stats = *mem.stats();

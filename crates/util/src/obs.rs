@@ -133,6 +133,38 @@ impl Log2Histogram {
         self.sum = self.sum.saturating_add(other.sum);
     }
 
+    /// Records the run of consecutive values `start, start+1, …,
+    /// start+n-1` in one call — exactly equivalent to `n` calls of
+    /// [`record`](Self::record), but in O(buckets touched) rather than
+    /// O(n): each bucket the run crosses receives the size of its
+    /// intersection with the run in one addition.
+    ///
+    /// This is the bulk-update primitive behind the simulator's
+    /// fast-forward kernel, where a skipped quiet span contributes one
+    /// growing streak sample per skipped cycle and the span can be
+    /// hundreds of thousands of cycles wide.
+    pub fn record_run(&mut self, start: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let end = start.saturating_add(n - 1); // inclusive
+        let last = Self::bucket_of(end);
+        let mut lo = start;
+        for b in Self::bucket_of(start)..=last {
+            // Bucket b covers values up to 2^b - 1 (bucket 0: just 0).
+            let hi = if b == last { end } else { (1u64 << b) - 1 };
+            self.buckets[b] += hi - lo + 1;
+            lo = hi.saturating_add(1);
+        }
+        self.count += n;
+        // Arithmetic series; computed in u128 so the intermediate
+        // product cannot wrap, then saturated like `record` does.
+        let total = (u128::from(start) + u128::from(end)) * u128::from(n) / 2;
+        self.sum = self
+            .sum
+            .saturating_add(u64::try_from(total).unwrap_or(u64::MAX));
+    }
+
     /// Non-empty buckets as `(bucket_index, count)` pairs, ascending.
     pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
         self.buckets
@@ -233,6 +265,25 @@ impl Registry {
             .or_insert_with(|| Metric::Histogram(Box::new(Log2Histogram::new())))
         {
             Metric::Histogram(h) => h.record(value),
+            other => panic!("metric {name} is a {}, not a histogram", kind_name(other)),
+        }
+    }
+
+    /// Adds every bucket of `h` into the histogram `name` (created
+    /// empty) — the bulk counterpart of [`observe`](Self::observe), used
+    /// by layers that accumulate a local [`Log2Histogram`] and report it
+    /// wholesale.
+    ///
+    /// # Panics
+    ///
+    /// If `name` already holds a non-histogram metric.
+    pub fn merge_histogram(&mut self, name: &str, h: &Log2Histogram) {
+        match self
+            .metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Box::new(Log2Histogram::new())))
+        {
+            Metric::Histogram(own) => own.merge(h),
             other => panic!("metric {name} is a {}, not a histogram", kind_name(other)),
         }
     }
@@ -686,6 +737,68 @@ mod tests {
             let b = Log2Histogram::bucket_of(v);
             assert!(Log2Histogram::bucket_floor(b) <= v);
         }
+    }
+
+    #[test]
+    fn record_run_matches_per_sample_recording() {
+        // The bulk bucket arithmetic must be indistinguishable from
+        // recording every value of the run one by one — including runs
+        // that start at 0, straddle several bucket boundaries, or sit
+        // entirely inside one bucket.
+        let cases: [(u64, u64); 8] = [
+            (0, 1),       // just the zero bucket
+            (0, 10),      // crosses buckets 0..4
+            (1, 1),       // single sample
+            (5, 3),       // inside bucket 3
+            (6, 5),       // crosses the 8 boundary
+            (1, 100),     // many boundaries
+            (250, 20),    // crosses the 256 boundary
+            ((1 << 20) - 3, 7), // crosses a high boundary
+        ];
+        for (start, n) in cases {
+            let mut bulk = Log2Histogram::new();
+            bulk.record_run(start, n);
+            let mut slow = Log2Histogram::new();
+            for v in start..start + n {
+                slow.record(v);
+            }
+            assert_eq!(bulk, slow, "run start={start} n={n}");
+        }
+    }
+
+    #[test]
+    fn record_run_of_zero_is_a_no_op() {
+        let mut h = Log2Histogram::new();
+        h.record_run(42, 0);
+        assert_eq!(h, Log2Histogram::new());
+    }
+
+    #[test]
+    fn record_run_wide_span_is_o_buckets() {
+        // A watchdog-sized span (500k cycles) in one call: the counts
+        // must balance exactly without a 500k-iteration loop.
+        let mut h = Log2Histogram::new();
+        h.record_run(1, 500_000);
+        assert_eq!(h.count(), 500_000);
+        assert_eq!(h.sum(), 500_000 * 500_001 / 2);
+        let total: u64 = h.nonzero_buckets().iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 500_000);
+        // Bucket k holds [2^(k-1), 2^k): a full interior bucket's count
+        // is exactly its width.
+        assert_eq!(h.bucket(10), 512);
+    }
+
+    #[test]
+    fn registry_merge_histogram_equals_observe_loop() {
+        let mut local = Log2Histogram::new();
+        local.record_run(3, 50);
+        let mut bulk = Registry::new();
+        bulk.merge_histogram("h", &local);
+        let mut slow = Registry::new();
+        for v in 3..53 {
+            slow.observe("h", v);
+        }
+        assert_eq!(bulk.to_json(), slow.to_json());
     }
 
     #[test]

@@ -87,6 +87,26 @@ cargo run --release --offline -q -p ede-check --bin ede-sim -- \
     2>/dev/null > /dev/null
 diff "$out_dir/metrics_j1.json" "$out_dir/metrics_j4.json"
 
+# Fast-forward differential smoke: the quiescence-aware kernel (on by
+# default) must be observably invisible — one litmus program per arch,
+# traced with and without --no-fast-forward, diffed byte-for-byte on
+# both the metrics document and the chrome timeline. The full contract
+# (all observables, generated programs, fault campaigns) lives in
+# tests/fastforward_differential.rs; this is the end-to-end spot check.
+echo "==> fast-forward differential smoke (fast vs --no-fast-forward)"
+for cell in "hazard WB" "two_update IQ" "fenced_update B"; do
+    set -- $cell
+    name=$1; arch=$2
+    cargo run --release --offline -q -p ede-check --bin ede-sim -- \
+        trace --litmus "$name" --arch "$arch" --quiet \
+        --metrics "$out_dir/ff_fast.json" --chrome "$out_dir/ff_fast_chrome.json"
+    cargo run --release --offline -q -p ede-check --bin ede-sim -- \
+        trace --litmus "$name" --arch "$arch" --quiet --no-fast-forward \
+        --metrics "$out_dir/ff_ref.json" --chrome "$out_dir/ff_ref_chrome.json"
+    diff "$out_dir/ff_fast.json" "$out_dir/ff_ref.json"
+    diff "$out_dir/ff_fast_chrome.json" "$out_dir/ff_ref_chrome.json"
+done
+
 # Zero-overhead guard. The tracer is Option-gated: an untraced core
 # allocates no ring and pushes no events (asserted by unit test
 # `untraced_core_buffers_nothing`, and `tracing_does_not_change_metrics`

@@ -29,10 +29,18 @@ fn prop_sim() -> SimConfig {
     sim
 }
 
+fn prop_sim_reference() -> SimConfig {
+    let mut sim = prop_sim();
+    sim.cpu.fast_forward = false;
+    sim
+}
+
 property! {
     #![cases(24)]
 
-    /// Every cycle of every stage is attributed, on every arch.
+    /// Every cycle of every stage is attributed, on every arch — on the
+    /// default (fast-forward) path, whose bulk `record_span` credits
+    /// whole skipped spans in one update.
     fn attribution_is_exhaustive_and_conserved(cmds in cmds_strategy(25)) {
         let program = concretize(&cmds);
         let golden = golden::run(&program, &GoldenConfig::default())
@@ -79,6 +87,37 @@ property! {
                 r.trace.persists.len(),
                 golden.persist_order.len(),
                 "pipeline and golden persist counts disagree on {arch}"
+            );
+        }
+    }
+
+    /// Conservation holds identically on the reference per-cycle path,
+    /// and the two paths produce the *same* attribution table — bulk
+    /// span accounting must equal cycle-by-cycle accounting even when
+    /// spans cross log2-histogram bucket boundaries.
+    fn bulk_span_accounting_equals_per_cycle(cmds in cmds_strategy(25)) {
+        let program = concretize(&cmds);
+        for arch in [ArchConfig::Baseline, ArchConfig::IssueQueue, ArchConfig::WriteBuffer] {
+            let fast = run_program("prop", raw_output(program.clone()), arch, &prop_sim())
+                .expect("generated programs complete");
+            let reference =
+                run_program("prop", raw_output(program.clone()), arch, &prop_sim_reference())
+                    .expect("generated programs complete");
+            prop_assert!(fast.attribution.conserved(fast.cycles), "fast not conserved on {arch}");
+            prop_assert!(
+                reference.attribution.conserved(reference.cycles),
+                "reference not conserved on {arch}"
+            );
+            prop_assert_eq!(fast.cycles, reference.cycles, "cycle counts differ on {arch}");
+            prop_assert_eq!(
+                fast.attribution,
+                reference.attribution,
+                "attribution tables differ on {arch}"
+            );
+            prop_assert_eq!(
+                fast.metrics.to_json(),
+                reference.metrics.to_json(),
+                "metrics documents differ on {arch}"
             );
         }
     }

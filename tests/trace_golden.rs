@@ -26,8 +26,9 @@ fn golden_dir() -> PathBuf {
     PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/golden"))
 }
 
-/// Renders the live event stream for one (litmus, arch) pair.
-fn live_trace(name: &str, arch: ArchConfig) -> String {
+/// Renders the live event stream for one (litmus, arch) pair, on the
+/// fast-forward or reference simulation path.
+fn live_trace_on(name: &str, arch: ArchConfig, fast_forward: bool) -> String {
     let program = litmus::program(name).expect(name);
     // Capacity far above any litmus program's event count: snapshots
     // must never silently truncate from the front of the run.
@@ -35,11 +36,13 @@ fn live_trace(name: &str, arch: ArchConfig) -> String {
         capacity: 1 << 20,
         ..TracerConfig::default()
     };
+    let mut sim = SimConfig::a72();
+    sim.cpu.fast_forward = fast_forward;
     let (result, _, tracer) = run_program_observed(
         name,
         raw_output(program.clone()),
         arch,
-        &SimConfig::a72(),
+        &sim,
         cfg,
     )
     .unwrap_or_else(|e| panic!("{name} on {arch}: {e}"));
@@ -55,7 +58,11 @@ fn live_trace(name: &str, arch: ArchConfig) -> String {
 }
 
 fn check_snapshot(name: &str, arch: ArchConfig) {
-    let live = live_trace(name, arch);
+    // The default (fast-forward) path is what blessing records; the
+    // reference per-cycle path must render the identical stream — the
+    // snapshots double as a differential fixture, no re-blessing needed
+    // when toggling the kernel.
+    let live = live_trace_on(name, arch, true);
     let path = golden_dir().join(format!("{name}.{}.txt", arch.label()));
     if std::env::var_os("EDE_BLESS").is_some_and(|v| v == "1") {
         std::fs::create_dir_all(golden_dir()).expect("create tests/golden");
@@ -75,6 +82,14 @@ fn check_snapshot(name: &str, arch: ArchConfig) {
          (if the pipeline change is intentional, re-bless with EDE_BLESS=1)",
         arch.label(),
         unified_diff(&golden, &live, "golden", "live"),
+    );
+    let reference = live_trace_on(name, arch, false);
+    assert!(
+        golden == reference,
+        "reference-path trace mismatch for {name} on {}:\n{}\n\
+         (the fast-forward kernel and the per-cycle path diverged)",
+        arch.label(),
+        unified_diff(&golden, &reference, "golden", "reference"),
     );
 }
 
