@@ -8,6 +8,11 @@
 //!                [--fault NAME[:N],NAME,...] [--shrink-iters N]
 //!                [--jobs N] [--progress N] [--disable-detectors]
 //!                [--metrics PATH] [--no-fast-forward]
+//! ede-sim explore [--litmus NAME,... | --cases N | --tx N] [--seed N]
+//!                [--max-cmds N] [--arch B,IQ,WB] [--fault NAME]
+//!                [--max-states N] [--max-events N] [--shrink-iters N]
+//!                [--jobs N] [--progress] [--metrics PATH]
+//!                [--no-fast-forward]
 //! ede-sim trace  [--litmus NAME] [--arch B] [--metrics PATH]
 //!                [--chrome PATH] [--quiet] [--no-fast-forward]
 //! ede-sim validate-metrics PATH
@@ -25,6 +30,16 @@
 //! `--disable-detectors` is the campaign's self-test: with every
 //! detector off, a corrupting fault must fail the campaign with a
 //! shrunk reproducer.
+//!
+//! `explore` runs the bounded-exhaustive model checker: every admissible
+//! persist-order crash state of each program (sleep-set pruned, under an
+//! explicit state/event budget) is enumerated and oracle-checked, and
+//! the `ede.explore.v1` coverage ledger is printed to stdout. The
+//! default source is the full litmus catalog; `--cases N` explores
+//! seeded random programs, `--tx N` seeded transactional programs
+//! through undo recovery. `--fault` restricts to statically modelable
+//! ordering faults (`drop-edeps`, `weak-dsb`) and flips the expected
+//! outcome from proof to counterexample.
 //!
 //! `trace` runs one named litmus program (default `two_update`; see
 //! `ede_check::litmus`) with the event tracer attached and prints the
@@ -54,6 +69,7 @@
 use ede_check::fuzz::{campaign_metrics, fuzz, FuzzOptions};
 use ede_check::inject::{inject, InjectOptions};
 use ede_check::litmus;
+use ede_check::{ExploreOptions, Source};
 use ede_cpu::{FaultInjection, TracerConfig};
 use ede_isa::ArchConfig;
 use ede_sim::{
@@ -71,6 +87,10 @@ fn usage() -> ExitCode {
          [--arch B,IQ,WB] [--fault NAME[:N],...] [--shrink-iters N] \
          [--jobs N] [--progress N] [--disable-detectors] [--metrics PATH] \
          [--no-fast-forward]\n\
+         \u{20}      ede-sim explore [--litmus NAME,... | --cases N | --tx N] \
+         [--seed N] [--max-cmds N] [--arch B,IQ,WB] [--fault NAME] \
+         [--max-states N] [--max-events N] [--shrink-iters N] [--jobs N] \
+         [--progress] [--metrics PATH] [--no-fast-forward]\n\
          \u{20}      ede-sim trace  [--litmus NAME] [--arch B] \
          [--metrics PATH] [--chrome PATH] [--quiet] [--no-fast-forward]\n\
          \u{20}      ede-sim validate-metrics PATH\n\
@@ -292,6 +312,119 @@ fn run_inject(args: &[String]) -> Option<ExitCode> {
     })
 }
 
+fn run_explore(args: &[String]) -> Option<ExitCode> {
+    let mut opts = ExploreOptions::default();
+    let mut metrics_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--no-fast-forward" {
+            opts.fast_forward = false;
+            continue;
+        }
+        if flag == "--progress" {
+            opts.progress = true;
+            continue;
+        }
+        let value = it.next()?;
+        let ok = match flag.as_str() {
+            "--metrics" => {
+                metrics_path = Some(value.clone());
+                true
+            }
+            "--litmus" => {
+                opts.source = Source::Litmus(value.split(',').map(str::to_string).collect());
+                true
+            }
+            "--cases" => value
+                .parse()
+                .map(|cases| opts.source = Source::Generated { cases })
+                .is_ok(),
+            "--tx" => value
+                .parse()
+                .map(|cases| opts.source = Source::Tx { cases })
+                .is_ok(),
+            "--seed" => value.parse().map(|v| opts.seed = v).is_ok(),
+            "--max-cmds" => value.parse().map(|v| opts.max_cmds = v).is_ok(),
+            "--max-states" => value.parse().map(|v| opts.max_states = v).is_ok(),
+            "--max-events" => value.parse().map(|v| opts.max_events = v).is_ok(),
+            "--shrink-iters" => value.parse().map(|v| opts.max_shrink_iters = v).is_ok(),
+            "--jobs" => value.parse().map(|v| opts.jobs = v).is_ok(),
+            "--arch" => match parse_archs(value) {
+                Some(archs) => {
+                    opts.archs = archs;
+                    true
+                }
+                None => false,
+            },
+            "--fault" => match FaultInjection::parse(value) {
+                Some(f) => {
+                    opts.fault = Some(f);
+                    true
+                }
+                None => false,
+            },
+            _ => false,
+        };
+        if !ok {
+            return None;
+        }
+    }
+
+    // Worker count to stderr only: stdout (the ledger + summary) must
+    // stay byte-identical across --jobs values (CI diffs it).
+    eprintln!(
+        "explore: {} worker(s)",
+        ede_util::pool::Pool::new(opts.jobs).jobs()
+    );
+    let report = match ede_check::explore(&opts) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("explore: {e}");
+            return Some(ExitCode::from(1));
+        }
+    };
+    if let Some(path) = &metrics_path {
+        write_or_die(path, &format!("{}\n", report.metrics().to_json()));
+        eprintln!("explore: metrics written to {path}");
+    }
+    println!("{}", report.to_json());
+    Some(if report.all_proved() {
+        println!(
+            "ok: {} cell(s) proved over every admissible crash state",
+            report.cells.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for c in &report.cells {
+            if let Some(cx) = &c.counterexample {
+                println!(
+                    "COUNTEREXAMPLE: {}/{}: {} (after {} shrink steps)",
+                    c.name,
+                    c.arch.label(),
+                    cx.detail,
+                    cx.shrink_steps,
+                );
+                if !cx.cmds.is_empty() {
+                    println!("commands: {:?}", cx.cmds);
+                }
+            }
+            for d in &c.impl_diffs {
+                println!("IMPL DIFF: {}/{}: {d}", c.name, c.arch.label());
+            }
+            if c.truncated {
+                println!(
+                    "BUDGET EXHAUSTED: {}/{}: {} state(s) visited, {} event(s)",
+                    c.name,
+                    c.arch.label(),
+                    c.states,
+                    c.events,
+                );
+            }
+        }
+        ExitCode::from(2)
+    })
+}
+
 fn run_trace(args: &[String]) -> Option<ExitCode> {
     let mut name = "two_update".to_string();
     let mut arch = ArchConfig::WriteBuffer;
@@ -372,6 +505,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("fuzz") => run_fuzz(&args[1..]),
         Some("inject") => run_inject(&args[1..]),
+        Some("explore") => run_explore(&args[1..]),
         Some("trace") => run_trace(&args[1..]),
         Some("validate-metrics") => run_validate(&args[1..]),
         _ => None,

@@ -340,7 +340,7 @@ fn conformance_case(
 /// transactions of seeded writes — enough slot reuse and commit-marker
 /// traffic that persist reordering or image corruption lands somewhere
 /// recovery must care about.
-fn tx_case_program(seed: u64, arch: ArchConfig) -> TxOutput {
+pub(crate) fn tx_case_program(seed: u64, arch: ArchConfig) -> TxOutput {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut tx = TxWriter::new(Layout::standard(), arch);
     let base = tx.heap_alloc(4 * 8, 8);

@@ -25,6 +25,11 @@
 //! * [`litmus`] — named minimal persist-idiom programs (`two_update`,
 //!   `hazard`, `join`, …) and a snapshot-stable event-stream renderer,
 //!   shared by the golden-trace tests and the `ede-sim trace` CLI.
+//! * [`explore`] — the bounded-exhaustive model checker: enumerates
+//!   every admissible persist-order crash state (sleep-set pruned, with
+//!   explicit budgets) and proves the litmus idioms clean — or produces
+//!   a shrunk counterexample under an injected ordering fault
+//!   (`ede-sim explore`).
 //! * [`inject`] — the fault-injection campaign: sweeps the
 //!   [`FaultInjection`](ede_mem::FaultInjection) taxonomy across
 //!   architectures and asserts every fault is detected (conformance
@@ -45,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod conform;
+pub mod explore;
 pub mod fuzz;
 pub mod gen;
 pub mod golden;
@@ -52,6 +58,7 @@ pub mod inject;
 pub mod litmus;
 
 pub use conform::check_run;
+pub use explore::{explore, ExploreOptions, ExploreReport, Source, Verdict};
 pub use fuzz::{fuzz, FuzzFailure, FuzzOptions, FuzzReport};
 pub use gen::{cmd_strategy, cmds_strategy, concretize, Cmd};
 pub use golden::{GoldenConfig, GoldenError, GoldenRun};

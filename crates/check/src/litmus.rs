@@ -94,6 +94,79 @@ pub fn program(name: &str) -> Option<Program> {
     Some(b.finish())
 }
 
+/// Slot (see [`crate::gen::slot_addr`]) playing the first data line in the
+/// command-level litmus catalog.
+pub const SLOT_A: u8 = 0;
+/// Slot playing the second data line (one full line above `SLOT_A`).
+pub const SLOT_B: u8 = 8;
+/// Slot playing the publish flag (its own line).
+pub const SLOT_F: u8 = 16;
+
+/// The named litmus idiom as an abstract command list over the
+/// generator's slot space, or `None` for an unknown name.
+///
+/// These mirror [`program`]'s idioms shape-for-shape but live in
+/// [`crate::gen::Cmd`] space so the exhaustive explorer, the fuzzer and
+/// the shrinker all speak the same language: an explorer counterexample
+/// on a litmus idiom is a command list the fuzz tooling can replay and
+/// [`ede_util::check::minimize`] can shrink. Data lines persist via
+/// explicit `DC CVAP`s and the flag line persists too — every ordering
+/// obligation the idiom makes is observable as a persist event.
+pub fn cmds(name: &str) -> Option<Vec<crate::gen::Cmd>> {
+    use crate::gen::Cmd;
+    let a = SLOT_A;
+    let b = SLOT_B;
+    let f = SLOT_F;
+    Some(match name {
+        "two_update" => vec![
+            Cmd::Store { slot: a, key: 0 },
+            Cmd::Store { slot: b, key: 0 },
+            Cmd::Cvap { slot: a, key: 0 },
+            Cmd::Cvap { slot: b, key: 0 },
+            Cmd::DsbSy,
+            Cmd::Store { slot: f, key: 0 },
+            Cmd::Cvap { slot: f, key: 0 },
+        ],
+        "fenced_update" => vec![
+            Cmd::Store { slot: a, key: 0 },
+            Cmd::Cvap { slot: a, key: 0 },
+            Cmd::DsbSy,
+            Cmd::Store { slot: f, key: 0 },
+            Cmd::Cvap { slot: f, key: 0 },
+            Cmd::DsbSy,
+        ],
+        "hazard" => vec![
+            Cmd::Store { slot: a, key: 0 },
+            Cmd::Cvap { slot: a, key: 1 },
+            Cmd::Store { slot: f, key: 1 },
+            Cmd::Cvap { slot: f, key: 0 },
+        ],
+        "join" => vec![
+            Cmd::Store { slot: a, key: 0 },
+            Cmd::Cvap { slot: a, key: 1 },
+            Cmd::Store { slot: b, key: 0 },
+            Cmd::Cvap { slot: b, key: 2 },
+            Cmd::Join {
+                def: 3,
+                use1: 1,
+                use2: 2,
+            },
+            Cmd::Store { slot: f, key: 3 },
+            Cmd::Cvap { slot: f, key: 0 },
+        ],
+        "wait_all" => vec![
+            Cmd::Store { slot: a, key: 0 },
+            Cmd::Cvap { slot: a, key: 1 },
+            Cmd::Store { slot: b, key: 0 },
+            Cmd::Cvap { slot: b, key: 2 },
+            Cmd::WaitAllKeys,
+            Cmd::Store { slot: f, key: 0 },
+            Cmd::Cvap { slot: f, key: 0 },
+        ],
+        _ => return None,
+    })
+}
+
 /// Renders a tracer event stream as snapshot-stable text.
 ///
 /// One line per stage transition, `cycle  stage  #id  disasm`; runs of
@@ -222,6 +295,26 @@ mod tests {
     #[test]
     fn unknown_name_is_none() {
         assert!(program("nonesuch").is_none());
+        assert!(cmds("nonesuch").is_none());
+    }
+
+    #[test]
+    fn every_name_has_a_command_catalog_that_concretizes() {
+        use crate::gen::{concretize, slot_addr};
+        use crate::golden::{self, GoldenConfig};
+        for name in NAMES {
+            let cs = cmds(name).expect(name);
+            let p = concretize(&cs);
+            let run = golden::run(&p, &GoldenConfig::default())
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            // Each idiom persists its flag line last in program order.
+            let flag_line = slot_addr(SLOT_F) & !63;
+            assert_eq!(
+                run.persist_order.last().map(|&(_, l)| l),
+                Some(flag_line),
+                "{name} must publish the flag"
+            );
+        }
     }
 
     #[test]

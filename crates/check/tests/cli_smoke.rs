@@ -1,6 +1,7 @@
 //! End-to-end regression tests for the `ede-sim` CLI: exit codes, the
-//! summary line shape, the progress-reporting format, and the contract
-//! that stdout is byte-identical for every `--jobs` value.
+//! summary line shape, the progress-reporting format, the explore
+//! ledger's stdout contract, and the contract that stdout is
+//! byte-identical for every `--jobs` value.
 
 use std::process::{Command, Output};
 
@@ -120,6 +121,75 @@ fn no_fast_forward_flag_leaves_inject_stdout_identical_across_jobs() {
     assert_eq!(run(&["--jobs", "1", "--no-fast-forward"]), baseline);
     assert_eq!(run(&["--jobs", "4"]), baseline);
     assert_eq!(run(&["--jobs", "4", "--no-fast-forward"]), baseline);
+}
+
+#[test]
+fn explore_proves_the_catalog_and_prints_the_ledger() {
+    let out = ede_sim(&["explore", "--litmus", "hazard", "--jobs", "1"]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.starts_with("{\n  \"format\": \"ede.explore.v1\","),
+        "stdout: {stdout}"
+    );
+    assert!(stdout.contains("\"verdicts\": {\"proved\": 3, \"counterexample\": 0"));
+    assert!(
+        stdout.ends_with("ok: 3 cell(s) proved over every admissible crash state\n"),
+        "stdout: {stdout}"
+    );
+    // Worker-count info is stderr-only.
+    assert!(!stdout.contains("worker"), "stdout: {stdout}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("explore: 1 worker(s)"), "stderr: {stderr}");
+}
+
+#[test]
+fn explore_counterexample_exits_2_with_a_reproducer() {
+    let out = ede_sim(&["explore", "--litmus", "hazard", "--fault", "drop-edeps"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("\"verdict\": \"counterexample\""), "stdout: {stdout}");
+    assert!(stdout.contains("COUNTEREXAMPLE: hazard/"), "stdout: {stdout}");
+    assert!(stdout.contains("commands: ["), "stdout: {stdout}");
+}
+
+#[test]
+fn explore_stdout_is_byte_identical_across_jobs_and_paths() {
+    let run = |extra: &[&str]| {
+        let mut args = vec!["explore", "--seed", "5", "--cases", "3", "--max-cmds", "8"];
+        args.extend_from_slice(extra);
+        let out = ede_sim(&args);
+        assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+        out.stdout
+    };
+    let sequential = run(&["--jobs", "1"]);
+    assert_eq!(run(&["--jobs", "3"]), sequential);
+    assert_eq!(run(&["--jobs", "7"]), sequential);
+    assert_eq!(run(&["--jobs", "1", "--no-fast-forward"]), sequential);
+}
+
+#[test]
+fn explore_budget_exhaustion_exits_2_and_reports_truncation() {
+    let out = ede_sim(&[
+        "explore", "--litmus", "two_update", "--arch", "B", "--max-states", "2",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("\"verdict\": \"budget-exhausted\""), "stdout: {stdout}");
+    assert!(stdout.contains("\"truncated\": true"), "stdout: {stdout}");
+    assert!(stdout.contains("BUDGET EXHAUSTED: two_update/B"), "stdout: {stdout}");
+}
+
+#[test]
+fn explore_rejects_unknown_idioms_and_unmodelable_faults() {
+    let out = ede_sim(&["explore", "--litmus", "nonesuch"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown litmus idiom"));
+    let out = ede_sim(&["explore", "--fault", "torn-stp"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no static ordering model"));
+    assert_eq!(ede_sim(&["explore", "--max-states"]).status.code(), Some(1));
+    assert_eq!(ede_sim(&["explore", "--max-states", "x"]).status.code(), Some(1));
 }
 
 #[test]

@@ -10,7 +10,7 @@
 //!   consumer key links.
 
 use crate::ordering::execution_deps;
-use ede_isa::{InstId, Program, Reg};
+use ede_isa::{InstId, InstKind, Op, Program, Reg};
 use std::collections::HashMap;
 
 /// Cache-line size used for memory-conflict detection, matching the cache
@@ -179,6 +179,295 @@ impl DepGraph {
     }
 }
 
+/// Which must-order edge families a fault injection removes from the
+/// persist-order model.
+///
+/// The exhaustive explorer (`ede-sim explore`) enumerates persist
+/// linearizations admitted by a [`PersistDag`]; injected faults weaken the
+/// pipeline, so the model must be weakened the same way or the explorer
+/// would wrongly prove faulted runs impossible. Two faults are statically
+/// modelable:
+///
+/// * `drop_execution` — the `DropEdeps` fault clears execution dependences
+///   at dispatch and skips the `WAIT_KEY`/`WAIT_ALL_KEYS` tracker checks,
+///   so both the producer→consumer edges and the wait→younger-store
+///   barrier edges disappear;
+/// * `weak_dsb` — the `WeakDsb` fault lets a `DSB SY` retire without
+///   draining older persists, so the older→fence edges disappear (the
+///   fence still blocks younger dispatch, so fence→younger edges remain).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct OrderRelaxation {
+    /// Remove execution-dependence and wait-barrier edges (`DropEdeps`).
+    pub drop_execution: bool,
+    /// Remove older→`DSB SY` drain edges (`WeakDsb`).
+    pub weak_dsb: bool,
+}
+
+impl OrderRelaxation {
+    /// No relaxation: the full ordering axioms of a fault-free pipeline.
+    pub const NONE: OrderRelaxation = OrderRelaxation {
+        drop_execution: false,
+        weak_dsb: false,
+    };
+}
+
+/// Hard cap on persist events a [`PersistDag`] can model: predecessor sets
+/// are `u64` bitmasks, so programs with more persists than this are
+/// reported as out of budget rather than silently mis-modeled.
+pub const MAX_PERSIST_EVENTS: usize = 64;
+
+/// A must-order partial order over a program's persist events, derived
+/// from the same axioms the conformance checker enforces (execution
+/// dependences, `DSB SY`/`DMB` windows, `WAIT_*` barriers) plus NVM
+/// same-line persist FIFO.
+///
+/// Event `i` is a *predecessor* of event `j` when every admissible
+/// execution persists `i`'s line image before `j`'s. Two events with no
+/// predecessor relation either way *commute*: the crash states reachable
+/// through `i;j` and `j;i` are the same set, which is exactly the
+/// independence relation the explorer's sleep-set pruning exploits.
+#[derive(Clone, Debug)]
+pub struct PersistDag {
+    /// Persist events in program order: `(instruction, line address)`.
+    events: Vec<(InstId, u64)>,
+    /// `preds[j]` bit `i` set ⇔ event `i` must persist before event `j`.
+    /// Transitively closed; only bits `< j` can be set (all edge families
+    /// point forward in program order).
+    preds: Vec<u64>,
+}
+
+impl PersistDag {
+    /// Builds the must-order DAG for `events` (the program's persist
+    /// events in program order, as `(cvap instruction, line address)`
+    /// pairs) under `relax`. Returns `None` when the program has more
+    /// than [`MAX_PERSIST_EVENTS`] persists.
+    ///
+    /// Edge families over *instructions*, each justified by a pipeline
+    /// invariant (`crates/cpu/src/core.rs`):
+    ///
+    /// 1. execution dependences (producer completes before consumer
+    ///    issues) — removed by `drop_execution`;
+    /// 2. `WAIT_KEY`/`WAIT_ALL_KEYS` → younger `Store`/`Writeback`
+    ///    (the wait retires only once its tracker side drains, and stores
+    ///    reach the write buffer only after retiring behind it in the
+    ///    in-order ROB) — removed by `drop_execution`;
+    /// 3. `DSB SY`: every older instruction → fence (retire-time persist
+    ///    drain; removed by `weak_dsb`) and fence → every younger
+    ///    instruction (dispatch block; never removed);
+    /// 4. `DMB SY`: older `Load`/`Store` → fence → younger
+    ///    `Load`/`Store`/`Writeback`;
+    /// 5. `DMB ST`: older `Store` → fence → younger `Store`;
+    /// 6. content edges: a store → the next persist event of its line
+    ///    (the cleaner snapshots the line after the store hit it).
+    ///
+    /// Event-level predecessors are forward reachability over those edges,
+    /// plus same-line persist FIFO (the persist buffer drains a line's
+    /// cleans in order), transitively closed.
+    pub fn build(
+        program: &Program,
+        events: &[(InstId, u64)],
+        relax: OrderRelaxation,
+    ) -> Option<PersistDag> {
+        if events.len() > MAX_PERSIST_EVENTS {
+            return None;
+        }
+        let n = program.len();
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+
+        // Family 1: execution dependences.
+        if !relax.drop_execution {
+            for (p, c) in execution_deps(program) {
+                adj[p.index()].push(c.index() as u32);
+            }
+        }
+
+        // Families 2–5: fence and wait windows.
+        let kinds: Vec<InstKind> = program.iter().map(|(_, i)| i.kind()).collect();
+        let is_wait: Vec<bool> = program
+            .iter()
+            .map(|(_, i)| matches!(i.op, Op::WaitKey { .. } | Op::WaitAllKeys))
+            .collect();
+        for f in 0..n {
+            match kinds[f] {
+                InstKind::FenceFull => {
+                    if !relax.weak_dsb {
+                        for edges in adj.iter_mut().take(f) {
+                            edges.push(f as u32);
+                        }
+                    }
+                    for y in f + 1..n {
+                        adj[f].push(y as u32);
+                    }
+                }
+                InstKind::FenceMem => {
+                    for (o, k) in kinds.iter().enumerate().take(f) {
+                        if matches!(k, InstKind::Load | InstKind::Store) {
+                            adj[o].push(f as u32);
+                        }
+                    }
+                    for (y, k) in kinds.iter().enumerate().skip(f + 1) {
+                        if matches!(k, InstKind::Load | InstKind::Store | InstKind::Writeback) {
+                            adj[f].push(y as u32);
+                        }
+                    }
+                }
+                InstKind::FenceStore => {
+                    for (o, k) in kinds.iter().enumerate().take(f) {
+                        if *k == InstKind::Store {
+                            adj[o].push(f as u32);
+                        }
+                    }
+                    for (y, k) in kinds.iter().enumerate().skip(f + 1) {
+                        if *k == InstKind::Store {
+                            adj[f].push(y as u32);
+                        }
+                    }
+                }
+                InstKind::EdeControl if is_wait[f] && !relax.drop_execution => {
+                    for (y, k) in kinds.iter().enumerate().skip(f + 1) {
+                        if matches!(k, InstKind::Store | InstKind::Writeback) {
+                            adj[f].push(y as u32);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Family 6: content edges — each store feeds the next persist
+        // event of its line.
+        let line_of = |a: u64| a & !(LINE_BYTES - 1);
+        let mut pending: HashMap<u64, Vec<usize>> = HashMap::new();
+        let mut next_event = 0usize;
+        for (id, inst) in program.iter() {
+            match inst.op {
+                Op::Str { addr, .. } => {
+                    pending.entry(line_of(addr)).or_default().push(id.index());
+                }
+                Op::Stp { addr, .. } => {
+                    pending.entry(line_of(addr)).or_default().push(id.index());
+                    let hi = line_of(addr + 8);
+                    if hi != line_of(addr) {
+                        pending.entry(hi).or_default().push(id.index());
+                    }
+                }
+                _ => {}
+            }
+            if next_event < events.len() && events[next_event].0 == id {
+                let line = events[next_event].1;
+                for s in pending.remove(&line).into_iter().flatten() {
+                    adj[s].push(id.index() as u32);
+                }
+                next_event += 1;
+            }
+        }
+
+        // Lift to event level: forward reachability per event.
+        let mut event_of_inst: HashMap<usize, usize> = HashMap::new();
+        for (e, &(id, _)) in events.iter().enumerate() {
+            event_of_inst.insert(id.index(), e);
+        }
+        let mut preds = vec![0u64; events.len()];
+        let mut visited = vec![usize::MAX; n];
+        let mut stack: Vec<usize> = Vec::new();
+        for (e, &(id, _)) in events.iter().enumerate() {
+            stack.push(id.index());
+            visited[id.index()] = e;
+            while let Some(v) = stack.pop() {
+                for &w in &adj[v] {
+                    let w = w as usize;
+                    if visited[w] != e {
+                        visited[w] = e;
+                        stack.push(w);
+                        if let Some(&succ) = event_of_inst.get(&w) {
+                            preds[succ] |= 1u64 << e;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Same-line persist FIFO.
+        for j in 0..events.len() {
+            for i in 0..j {
+                if events[i].1 == events[j].1 {
+                    preds[j] |= 1u64 << i;
+                }
+            }
+        }
+
+        // Transitive closure. All predecessors of `j` are earlier events,
+        // so an ascending pass sees each `preds[i]` already closed.
+        for j in 0..events.len() {
+            let mut mask = preds[j];
+            let mut bits = mask;
+            while bits != 0 {
+                let i = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                mask |= preds[i];
+            }
+            preds[j] = mask;
+        }
+
+        Some(PersistDag { events: events.to_vec(), preds })
+    }
+
+    /// Number of persist events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the program persists nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The persist events in program order: `(cvap instruction, line)`.
+    pub fn events(&self) -> &[(InstId, u64)] {
+        &self.events
+    }
+
+    /// The transitively-closed predecessor mask of event `i`.
+    pub fn preds(&self, i: usize) -> u64 {
+        self.preds[i]
+    }
+
+    /// Whether events `i` and `j` commute (neither must precede the
+    /// other), so `i;j` and `j;i` reach the same crash states.
+    pub fn commutes(&self, i: usize, j: usize) -> bool {
+        self.preds[i] & (1 << j) == 0 && self.preds[j] & (1 << i) == 0
+    }
+
+    /// The events that may persist next from a crash state: every event
+    /// not yet in `persisted` whose predecessors all are. Returned as a
+    /// bitmask.
+    pub fn enabled(&self, persisted: u64) -> u64 {
+        let mut out = 0u64;
+        for (j, &p) in self.preds.iter().enumerate() {
+            let bit = 1u64 << j;
+            if persisted & bit == 0 && p & !persisted == 0 {
+                out |= bit;
+            }
+        }
+        out
+    }
+
+    /// Checks that `order` (event indices) is a linearization this DAG
+    /// admits: each event's predecessors appear before it. Returns the
+    /// first violation as `(missing predecessor, event)`.
+    pub fn check_linearization(&self, order: &[usize]) -> Result<(), (usize, usize)> {
+        let mut seen = 0u64;
+        for &e in order {
+            let missing = self.preds[e] & !seen;
+            if missing != 0 {
+                return Err((missing.trailing_zeros() as usize, e));
+            }
+            seen |= 1 << e;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,6 +517,163 @@ mod tests {
         b.load(0x40, 5); // write→read edge
         let g = DepGraph::build(&b.finish());
         assert_eq!(g.edges_of(DepKind::Memory).count(), 2);
+    }
+
+    const LINE_A: u64 = 0x1_0000_0000;
+    const LINE_B: u64 = 0x1_0000_0040;
+    const LINE_F: u64 = 0x1_0000_0800;
+
+    /// Two stores + cvaps to distinct lines with no ordering between them.
+    fn unfenced_pair() -> (Program, Vec<(InstId, u64)>) {
+        let mut b = TraceBuilder::new();
+        b.store(LINE_A, 1);
+        let p0 = b.cvap(LINE_A);
+        b.store(LINE_B, 2);
+        let p1 = b.cvap(LINE_B);
+        (b.finish(), vec![(p0, LINE_A), (p1, LINE_B)])
+    }
+
+    #[test]
+    fn unfenced_persists_commute() {
+        let (p, ev) = unfenced_pair();
+        let dag = PersistDag::build(&p, &ev, OrderRelaxation::NONE).unwrap();
+        assert_eq!(dag.len(), 2);
+        assert!(dag.commutes(0, 1));
+        // Both enabled from the empty state; both orders are admissible.
+        assert_eq!(dag.enabled(0), 0b11);
+        assert!(dag.check_linearization(&[0, 1]).is_ok());
+        assert!(dag.check_linearization(&[1, 0]).is_ok());
+    }
+
+    #[test]
+    fn dsb_orders_persists_and_weak_dsb_relaxes() {
+        let mut b = TraceBuilder::new();
+        b.store(LINE_A, 1);
+        let p0 = b.cvap(LINE_A);
+        b.dsb_sy();
+        b.store(LINE_F, 1);
+        let p1 = b.cvap(LINE_F);
+        let prog = b.finish();
+        let ev = vec![(p0, LINE_A), (p1, LINE_F)];
+
+        let strict = PersistDag::build(&prog, &ev, OrderRelaxation::NONE).unwrap();
+        assert!(!strict.commutes(0, 1));
+        assert_eq!(strict.preds(1), 0b01);
+        assert_eq!(strict.enabled(0), 0b01);
+        assert_eq!(strict.enabled(0b01), 0b10);
+        assert_eq!(strict.check_linearization(&[1, 0]), Err((0, 1)));
+
+        let weak = OrderRelaxation {
+            weak_dsb: true,
+            ..OrderRelaxation::NONE
+        };
+        let relaxed = PersistDag::build(&prog, &ev, weak).unwrap();
+        // Without the drain edge the flag persist may overtake the data.
+        assert!(relaxed.commutes(0, 1));
+    }
+
+    #[test]
+    fn execution_dependence_orders_persists_and_drop_relaxes() {
+        // hazard shape: cvap A producing k1, consuming store to F, cvap F.
+        let mut b = TraceBuilder::new();
+        let k = Edk::new(1).unwrap();
+        b.store(LINE_A, 1);
+        let p0 = b.cvap_producing(LINE_A, k);
+        b.store_consuming(LINE_F, 1, k);
+        let p1 = b.cvap(LINE_F);
+        let prog = b.finish();
+        let ev = vec![(p0, LINE_A), (p1, LINE_F)];
+
+        let strict = PersistDag::build(&prog, &ev, OrderRelaxation::NONE).unwrap();
+        // p0 → consuming store (execution dep) → p1 (content edge).
+        assert_eq!(strict.preds(1), 0b01);
+
+        let drop = OrderRelaxation {
+            drop_execution: true,
+            ..OrderRelaxation::NONE
+        };
+        let relaxed = PersistDag::build(&prog, &ev, drop).unwrap();
+        assert!(relaxed.commutes(0, 1));
+    }
+
+    #[test]
+    fn wait_all_keys_is_a_persist_barrier_unless_dropped() {
+        let mut b = TraceBuilder::new();
+        let k1 = Edk::new(1).unwrap();
+        let k2 = Edk::new(2).unwrap();
+        b.store(LINE_A, 1);
+        let p0 = b.cvap_producing(LINE_A, k1);
+        b.store(LINE_B, 2);
+        let p1 = b.cvap_producing(LINE_B, k2);
+        b.wait_all_keys();
+        b.store(LINE_F, 1);
+        let p2 = b.cvap(LINE_F);
+        let prog = b.finish();
+        let ev = vec![(p0, LINE_A), (p1, LINE_B), (p2, LINE_F)];
+
+        let strict = PersistDag::build(&prog, &ev, OrderRelaxation::NONE).unwrap();
+        // Flag persist waits for both data persists; data persists commute.
+        assert_eq!(strict.preds(2), 0b011);
+        assert!(strict.commutes(0, 1));
+
+        let drop = OrderRelaxation {
+            drop_execution: true,
+            ..OrderRelaxation::NONE
+        };
+        let relaxed = PersistDag::build(&prog, &ev, drop).unwrap();
+        assert_eq!(relaxed.preds(2), 0);
+    }
+
+    #[test]
+    fn same_line_persists_stay_fifo_even_relaxed() {
+        let mut b = TraceBuilder::new();
+        b.store(LINE_A, 1);
+        let p0 = b.cvap(LINE_A);
+        b.store(LINE_A + 8, 2);
+        let p1 = b.cvap(LINE_A);
+        let prog = b.finish();
+        let ev = vec![(p0, LINE_A), (p1, LINE_A)];
+        let relax = OrderRelaxation {
+            drop_execution: true,
+            weak_dsb: true,
+        };
+        let dag = PersistDag::build(&prog, &ev, relax).unwrap();
+        assert_eq!(dag.preds(1), 0b01);
+        assert!(!dag.commutes(0, 1));
+    }
+
+    #[test]
+    fn dmb_st_orders_store_content_but_not_loads() {
+        // store A; dmb st; store B — content edges route through the
+        // fence, so the persists are ordered via their stores.
+        let mut b = TraceBuilder::new();
+        b.store(LINE_A, 1);
+        b.dmb_st();
+        b.store(LINE_B, 2);
+        let p1 = b.cvap(LINE_B);
+        let p0 = b.cvap(LINE_A);
+        let prog = b.finish();
+        // Events in program order: B persists first in the event list.
+        let ev = vec![(p1, LINE_B), (p0, LINE_A)];
+        let dag = PersistDag::build(&prog, &ev, OrderRelaxation::NONE).unwrap();
+        // store A → dmb st → store B → cvap B: event 0 (line B) must wait
+        // for nothing persist-side... but event 1 (line A) only needs its
+        // own store. Neither event reaches the other through the fence:
+        // cvaps are not DMB ST-ordered, so the two *persists* commute.
+        assert!(dag.commutes(0, 1));
+    }
+
+    #[test]
+    fn too_many_events_is_out_of_budget() {
+        let mut b = TraceBuilder::new();
+        let mut ev = Vec::new();
+        for i in 0..65u64 {
+            let addr = 0x1_0000_0000 + i * 64;
+            b.store(addr, i);
+            ev.push((b.cvap(addr), addr));
+        }
+        let prog = b.finish();
+        assert!(PersistDag::build(&prog, &ev, OrderRelaxation::NONE).is_none());
     }
 
     #[test]

@@ -64,6 +64,21 @@ impl PersistTrace {
         let p = self.persists.last().map_or(0, |e| e.cycle);
         s.max(p)
     }
+
+    /// Every crash cycle worth checking: cycle 0 (nothing persisted yet),
+    /// each persist-event cycle (that persist just landed), and one past
+    /// the horizon (the completed run). Sorted and deduplicated — crashing
+    /// between two consecutive entries yields the same NVM image as
+    /// crashing at the earlier one, so this list covers all distinct
+    /// crash images.
+    pub fn persist_cycles(&self) -> Vec<u64> {
+        let mut cycles: Vec<u64> = self.persists.iter().map(|e| e.cycle).collect();
+        cycles.push(0);
+        cycles.push(self.horizon() + 1);
+        cycles.sort_unstable();
+        cycles.dedup();
+        cycles
+    }
 }
 
 /// Reconstructs the NVM contents observable after a crash at
@@ -203,6 +218,20 @@ mod tests {
         let img = nvm_image_at(&t, 2, 64);
         assert_eq!(img.get(&0x200), Some(&11));
         assert_eq!(img.get(&0x208), Some(&22));
+    }
+
+    #[test]
+    fn persist_cycles_cover_every_distinct_image() {
+        let mut t = PersistTrace::default();
+        t.record_store(st(5, 0x100, 1));
+        t.record_persist(PersistEvent { cycle: 10, line: 0x100 });
+        t.record_persist(PersistEvent { cycle: 10, line: 0x140 });
+        t.record_store(st(15, 0x100, 2));
+        t.record_persist(PersistEvent { cycle: 20, line: 0x100 });
+        // 0 (empty), 10 (dedup of the two same-cycle persists), 20, and
+        // one past the horizon.
+        assert_eq!(t.persist_cycles(), vec![0, 10, 20, 21]);
+        assert_eq!(PersistTrace::default().persist_cycles(), vec![0, 1]);
     }
 
     #[test]

@@ -142,6 +142,19 @@ impl CrashChecker {
     ) -> Result<u64, ConsistencyError> {
         let mut image: NvmImage = nvm_image_at(trace, cycle, 64);
         mutate(&mut image);
+        self.check_image(image)
+    }
+
+    /// Runs recovery over an arbitrary crash image and checks failure
+    /// atomicity against the transaction record — the trace-free core of
+    /// [`check_at`](Self::check_at). The exhaustive explorer uses this
+    /// directly on model-enumerated images that no single simulation run
+    /// produced. Returns the committed transaction count on success.
+    ///
+    /// # Errors
+    ///
+    /// The first [`ConsistencyError`] found.
+    pub fn check_image(&self, mut image: NvmImage) -> Result<u64, ConsistencyError> {
         let result = (self.recovery)(&mut image, &self.layout);
         let k = result.committed_txid.min(self.records.len() as u64);
         let expected = self.expected_after(k);
@@ -195,11 +208,7 @@ impl CrashChecker {
         trace: &PersistTrace,
         mutate: &(dyn Fn(u64, &mut NvmImage) + Sync),
     ) -> Result<(), (u64, ConsistencyError)> {
-        let mut cycles: Vec<u64> = trace.persists.iter().map(|p| p.cycle).collect();
-        cycles.push(0);
-        cycles.push(trace.horizon() + 1);
-        cycles.sort_unstable();
-        cycles.dedup();
+        let cycles = trace.persist_cycles();
         ede_util::pool::par_map_indexed(self.jobs, &cycles, |_, &c| {
             self.check_at_mutated(trace, c, &|image| mutate(c, image))
                 .map_err(|e| (c, e))
@@ -396,6 +405,22 @@ mod tests {
             })
             .expect_err("corrupted data word must surface");
         assert_eq!(err.1.addr, a);
+    }
+
+    #[test]
+    fn check_image_matches_check_at_on_reconstructed_images() {
+        let (out, a) = simple_output();
+        let trace = synthetic_trace(&[(a, 5, true), (a, 6, true)]);
+        let checker = CrashChecker::new(&out);
+        for cycle in trace.persist_cycles() {
+            let direct = checker.check_image(ede_mem::trace::nvm_image_at(&trace, cycle, 64));
+            assert_eq!(direct, checker.check_at(&trace, cycle), "cycle {cycle}");
+        }
+        // An image where the data word raced ahead of its log entry is
+        // rejected no matter how it was produced.
+        let mut torn = NvmImage::new();
+        torn.insert(a, 6);
+        assert!(checker.check_image(torn).is_err());
     }
 
     #[test]

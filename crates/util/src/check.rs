@@ -318,6 +318,29 @@ impl<T: Arbitrary> Strategy for AnyStrategy<T> {
     }
 }
 
+/// Wraps an already-concrete vector in the standard vector shrink tree
+/// (chunk removal largest-first, then single elements), treating each
+/// element as a leaf. This is how a *literal* failing input — a
+/// hand-written litmus command list, say — gets the same
+/// [`minimize`]-driven reduction a strategy-generated one inherits from
+/// [`vec`]; at most `min` elements survive removal.
+///
+/// # Example
+///
+/// ```
+/// use ede_util::check::{minimize, shrinkable_vec};
+///
+/// let sh = shrinkable_vec(vec![1u8, 9, 2, 9, 3], 0);
+/// let (minimal, _steps) = minimize(sh, 1000, |v| v.contains(&2));
+/// assert_eq!(minimal, vec![2]);
+/// ```
+pub fn shrinkable_vec<T>(elems: Vec<T>, min: usize) -> Shrinkable<Vec<T>>
+where
+    T: Clone + 'static,
+{
+    vec_shrinkable(elems.into_iter().map(Shrinkable::leaf).collect(), min)
+}
+
 fn vec_shrinkable<T>(elems: Vec<Shrinkable<T>>, min: usize) -> Shrinkable<Vec<T>>
 where
     T: Clone + 'static,

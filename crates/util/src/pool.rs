@@ -160,6 +160,63 @@ where
     Pool::new(jobs).run(items.len(), |i| f(i, &items[i]))
 }
 
+/// Expands a work frontier breadth-first across `jobs` workers with a
+/// deterministic merge and a hard entry budget.
+///
+/// Starting from `seeds`, each entry is passed to `step(index, entry)`,
+/// which returns that entry's output plus any child entries to expand in
+/// a later layer. Entries within a layer run in parallel, but outputs
+/// are appended **in entry order** and each layer's children are
+/// concatenated in the same order to form the next frontier — so the
+/// output vector, the entry indices `step` observes, and the truncation
+/// decision are all bit-identical for every job count. `index` is the
+/// global (deterministic) entry number, starting at 0 for the first
+/// seed.
+///
+/// At most `max_entries` entries are processed; when a layer would
+/// exceed the budget it is cut at the limit (keeping the
+/// deterministic prefix) and the second return value is `true`. The
+/// caller decides what a truncated expansion means — for a model
+/// checker, "not a proof".
+///
+/// # Panics
+///
+/// Propagates the lowest-index panicking entry, like [`Pool::run`].
+pub fn par_frontier<T, U, F>(
+    jobs: usize,
+    seeds: Vec<T>,
+    max_entries: usize,
+    step: F,
+) -> (Vec<U>, bool)
+where
+    T: Send + Sync,
+    U: Send,
+    F: Fn(usize, &T) -> (U, Vec<T>) + Sync,
+{
+    let mut outputs: Vec<U> = Vec::new();
+    let mut frontier = seeds;
+    let mut truncated = false;
+    while !frontier.is_empty() {
+        let budget = max_entries.saturating_sub(outputs.len());
+        if frontier.len() > budget {
+            frontier.truncate(budget);
+            truncated = true;
+        }
+        if frontier.is_empty() {
+            break;
+        }
+        let base = outputs.len();
+        let layer = par_map_indexed(jobs, &frontier, |i, t| step(base + i, t));
+        let mut next = Vec::new();
+        for (u, kids) in layer {
+            outputs.push(u);
+            next.extend(kids);
+        }
+        frontier = next;
+    }
+    (outputs, truncated)
+}
+
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     payload
         .downcast_ref::<&str>()
@@ -287,5 +344,68 @@ mod tests {
     fn resolve_jobs_passthrough() {
         assert_eq!(resolve_jobs(1), 1);
         assert_eq!(resolve_jobs(7), 7);
+    }
+
+    /// A frontier step's (output, children) expansion.
+    type TreeExpansion = ((usize, u64), Vec<(u64, u32)>);
+
+    /// A frontier step expanding a binary counting tree: entry `v` at
+    /// depth `d` emits children `2v+1` and `2v+2` while `d > 0`.
+    fn tree_step(depth: u32) -> impl Fn(usize, &(u64, u32)) -> TreeExpansion {
+        move |i, &(v, d)| {
+            let kids = if d < depth {
+                vec![(2 * v + 1, d + 1), (2 * v + 2, d + 1)]
+            } else {
+                Vec::new()
+            };
+            ((i, v), kids)
+        }
+    }
+
+    #[test]
+    fn par_frontier_visits_breadth_first_in_order() {
+        let (out, truncated) = par_frontier(1, vec![(0u64, 0u32)], usize::MAX, tree_step(2));
+        // Layers: [0], [1, 2], [3, 4, 5, 6] — outputs carry the global
+        // entry index `step` observed.
+        let expect: Vec<(usize, u64)> =
+            [0u64, 1, 2, 3, 4, 5, 6].iter().enumerate().map(|(i, &v)| (i, v)).collect();
+        assert_eq!(out, expect);
+        assert!(!truncated);
+    }
+
+    #[test]
+    fn par_frontier_is_identical_for_every_job_count() {
+        let base = par_frontier(1, vec![(0u64, 0u32)], usize::MAX, tree_step(5));
+        for jobs in [2, 4, 9] {
+            assert_eq!(
+                par_frontier(jobs, vec![(0u64, 0u32)], usize::MAX, tree_step(5)),
+                base,
+                "jobs {jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn par_frontier_budget_cuts_the_deterministic_prefix() {
+        // 1 + 2 + 4 = 7 entries; a budget of 5 keeps the first 5 in
+        // breadth-first order and reports truncation — identically for
+        // every job count.
+        for jobs in [1, 3] {
+            let (out, truncated) = par_frontier(jobs, vec![(0u64, 0u32)], 5, tree_step(2));
+            let values: Vec<u64> = out.iter().map(|&(_, v)| v).collect();
+            assert_eq!(values, vec![0, 1, 2, 3, 4], "jobs {jobs}");
+            assert!(truncated, "jobs {jobs}");
+        }
+    }
+
+    #[test]
+    fn par_frontier_empty_seeds_and_zero_budget() {
+        let (out, truncated) =
+            par_frontier(2, Vec::<(u64, u32)>::new(), usize::MAX, tree_step(3));
+        assert!(out.is_empty());
+        assert!(!truncated);
+        let (out, truncated) = par_frontier(2, vec![(0u64, 0u32)], 0, tree_step(3));
+        assert!(out.is_empty());
+        assert!(truncated, "seeds beyond a zero budget are a truncation");
     }
 }

@@ -65,6 +65,38 @@ cargo run --release --offline -q -p ede-check --bin ede-sim -- \
 diff "$out_dir/inject_j1.json" "$out_dir/inject_j4.json"
 diff "$out_dir/inject.json" "$out_dir/inject_j1.json"
 
+# Explore smoke: the bounded-exhaustive model checker proves one litmus
+# idiom per crash-safe architecture (every admissible persist-order
+# crash state enumerated and oracle-checked), and the ede.explore.v1
+# coverage ledger must be byte-identical however many workers ran the
+# search. The nightly job explores the full catalog at a deep budget
+# (see .github/workflows/ci.yml).
+echo "==> explore smoke (one idiom per arch, ledger determinism)"
+for cell in "hazard B" "join IQ" "two_update WB"; do
+    set -- $cell
+    name=$1; arch=$2
+    cargo run --release --offline -q -p ede-check --bin ede-sim -- \
+        explore --litmus "$name" --arch "$arch" --jobs 1 \
+        2>/dev/null > "$out_dir/explore_j1.json"
+    cargo run --release --offline -q -p ede-check --bin ede-sim -- \
+        explore --litmus "$name" --arch "$arch" --jobs 4 \
+        2>/dev/null > "$out_dir/explore_j4.json"
+    diff "$out_dir/explore_j1.json" "$out_dir/explore_j4.json"
+    grep -q '"verdicts": {"proved": 1, "counterexample": 0, "budget-exhausted": 0}' \
+        "$out_dir/explore_j1.json"
+done
+
+# And the explorer's self-test: under a seeded ordering fault the same
+# idiom must produce a shrunk counterexample, exiting 2.
+echo "==> explore fault self-test (hazard under drop-edeps)"
+if cargo run --release --offline -q -p ede-check --bin ede-sim -- \
+    explore --litmus hazard --arch WB --fault drop-edeps \
+    2>/dev/null > "$out_dir/explore_cx.json"; then
+    echo "explore failed to find the seeded counterexample" >&2
+    exit 1
+fi
+grep -q '"verdict": "counterexample"' "$out_dir/explore_cx.json"
+
 # Observability smoke: trace one litmus program on EDE hardware, then
 # re-validate the emitted ede.metrics.v1 document with the in-repo shape
 # checker (schema tag, exhaustive stall taxonomy, busy + causes == total
