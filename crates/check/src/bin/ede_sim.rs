@@ -16,6 +16,11 @@
 //! ede-sim trace  [--litmus NAME] [--arch B] [--metrics PATH]
 //!                [--chrome PATH] [--quiet] [--no-fast-forward]
 //! ede-sim validate-metrics PATH
+//!
+//! fuzz/inject/explore also accept the resilient-runtime flags:
+//!                [--checkpoint PATH] [--checkpoint-every N] [--resume PATH]
+//!                [--max-wall-secs N] [--max-quarantined N] [--stop-after N]
+//!                [--self-test-panic N]
 //! ```
 //!
 //! `fuzz` runs the differential fuzzer: seeded random programs through
@@ -52,9 +57,26 @@
 //! detection-matrix registry for inject. Both are byte-identical across
 //! `--jobs` values.
 //!
+//! The three campaign subcommands share a resilient runtime.
+//! `--checkpoint PATH` with `--checkpoint-every N` flushes a versioned
+//! `ede.checkpoint.v1` document atomically (write-temp + rename) every
+//! N completed units and on shutdown; `--resume PATH` validates the
+//! checkpoint's options fingerprint (mismatch is a typed error, exit 2)
+//! and fast-forwards past completed units, so the resumed run's final
+//! stdout, report, and metrics are byte-identical to an uninterrupted
+//! one. `--max-wall-secs N` (or the `EDE_DEADLINE_SECS` environment
+//! variable) stops the campaign gracefully — valid checkpoint, truncated
+//! but well-formed report, exit code 3. A worker panic is quarantined
+//! per unit instead of aborting the sweep: the payload is recorded in
+//! the report's `quarantined` section and the total is counted against
+//! `--max-quarantined` (default 0). `--stop-after N` (interrupt after N
+//! fresh units) and `--self-test-panic N` (panic deliberately on unit N)
+//! are deterministic test hooks for exactly that machinery.
+//!
 //! Exit status: 0 when the run passes, 2 when a (shrunk) counterexample,
-//! silent corruption, or invalid metrics document was found, 1 on usage
-//! errors.
+//! silent corruption, invalid metrics document, checkpoint fingerprint
+//! mismatch, or over-budget quarantine count was found, 3 when a
+//! wall-clock deadline interrupted the campaign, 1 on usage errors.
 //!
 //! `--jobs` selects worker threads (0 = auto via `EDE_JOBS` or the host
 //! parallelism). stdout is byte-identical for every job count; worker
@@ -66,16 +88,17 @@
 //! byte-identical with and without it (the differential test suite pins
 //! this); the flag exists to run the reference path directly.
 
-use ede_check::fuzz::{campaign_metrics, fuzz, FuzzOptions};
-use ede_check::inject::{inject, InjectOptions};
+use ede_check::fuzz::{campaign_metrics, fuzz_campaign, FuzzOptions};
+use ede_check::inject::{inject_campaign, InjectOptions};
 use ede_check::litmus;
-use ede_check::{ExploreOptions, Source};
+use ede_check::{explore_campaign, CaseOutcome, ExploreError, ExploreOptions, RuntimeOptions, Source};
 use ede_cpu::{FaultInjection, TracerConfig};
 use ede_isa::ArchConfig;
 use ede_sim::{
     chrome_trace_json, metrics_json, raw_output, run_program_observed, validate_metrics_json,
     SimConfig,
 };
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
@@ -94,6 +117,9 @@ fn usage() -> ExitCode {
          \u{20}      ede-sim trace  [--litmus NAME] [--arch B] \
          [--metrics PATH] [--chrome PATH] [--quiet] [--no-fast-forward]\n\
          \u{20}      ede-sim validate-metrics PATH\n\
+         resilience (fuzz/inject/explore): [--checkpoint PATH] \
+         [--checkpoint-every N] [--resume PATH] [--max-wall-secs N] \
+         [--max-quarantined N] [--stop-after N] [--self-test-panic N]\n\
          faults: {}\n\
          litmus: {}",
         FaultInjection::ALL.map(|f| f.label()).join(", "),
@@ -119,6 +145,48 @@ fn parse_archs(spec: &str) -> Option<Vec<ArchConfig>> {
 
 fn parse_faults(spec: &str) -> Option<Vec<FaultInjection>> {
     spec.split(',').map(FaultInjection::parse).collect()
+}
+
+/// Parses one resilient-runtime flag into `rt`. `None` means the flag
+/// is not a runtime flag at all; `Some(ok)` reports parse success.
+fn parse_runtime_flag(flag: &str, value: &str, rt: &mut RuntimeOptions) -> Option<bool> {
+    Some(match flag {
+        "--checkpoint" => {
+            rt.checkpoint_path = Some(PathBuf::from(value));
+            true
+        }
+        "--checkpoint-every" => value.parse().map(|v| rt.checkpoint_every = v).is_ok(),
+        "--resume" => {
+            rt.resume_from = Some(PathBuf::from(value));
+            true
+        }
+        "--max-wall-secs" => value.parse().map(|v| rt.max_wall_secs = Some(v)).is_ok(),
+        "--max-quarantined" => value.parse().map(|v| rt.max_quarantined = v).is_ok(),
+        "--stop-after" => value.parse().map(|v| rt.stop_after_units = Some(v)).is_ok(),
+        _ => return None,
+    })
+}
+
+/// Prints the report's quarantined harness panics to stdout; returns
+/// whether the count exceeds the `--max-quarantined` budget.
+fn report_quarantined(quarantined: &[CaseOutcome], rt: &RuntimeOptions) -> bool {
+    for q in quarantined {
+        if let CaseOutcome::HarnessPanic { payload, case } = q {
+            println!("quarantined case {case}: {payload}");
+        }
+    }
+    if !quarantined.is_empty() {
+        println!("quarantined: {} harness panic(s)", quarantined.len());
+    }
+    quarantined.len() as u64 > rt.max_quarantined
+}
+
+/// Tells the operator (on stderr, so stdout stays deterministic) where
+/// the checkpoint lives, when one is being written.
+fn resume_hint(kind: &str, rt: &RuntimeOptions) {
+    if let Some(p) = rt.checkpoint_path.as_ref().or(rt.resume_from.as_ref()) {
+        eprintln!("{kind}: resume with --resume {}", p.display());
+    }
 }
 
 fn run_fuzz(args: &[String]) -> Option<ExitCode> {
@@ -162,7 +230,8 @@ fn run_fuzz(args: &[String]) -> Option<ExitCode> {
                 }
                 None => false,
             },
-            _ => false,
+            "--self-test-panic" => value.parse().map(|v| opts.self_test_panic = Some(v)).is_ok(),
+            other => parse_runtime_flag(other, value, &mut opts.runtime).unwrap_or(false),
         };
         if !ok {
             return None;
@@ -187,14 +256,34 @@ fn run_fuzz(args: &[String]) -> Option<ExitCode> {
         "fuzz: {} worker(s)",
         ede_util::pool::Pool::new(opts.jobs).jobs()
     );
-    let report = fuzz(&opts);
+    let report = match fuzz_campaign(&opts) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("fuzz: {e}");
+            return Some(ExitCode::from(2));
+        }
+    };
     if let Some(path) = &metrics_path {
         // Sampled sequential replay: byte-identical for every --jobs.
         let reg = campaign_metrics(&opts, report.cases_run, 16);
         write_or_die(path, &format!("{}\n", reg.to_json()));
         eprintln!("fuzz: campaign metrics written to {path}");
     }
+    let over_budget = report_quarantined(&report.quarantined, &opts.runtime);
     Some(match report.failure {
+        None if report.interrupted => {
+            println!("INTERRUPTED: {} of {} case(s) done", report.cases_run, opts.cases);
+            resume_hint("fuzz", &opts.runtime);
+            ExitCode::from(3)
+        }
+        None if over_budget => {
+            println!(
+                "QUARANTINE BUDGET EXCEEDED: {} harness panic(s), budget {}",
+                report.quarantined.len(),
+                opts.runtime.max_quarantined,
+            );
+            ExitCode::from(2)
+        }
         None => {
             println!("ok: {} cases, zero conformance diffs", report.cases_run);
             ExitCode::SUCCESS
@@ -264,7 +353,8 @@ fn run_inject(args: &[String]) -> Option<ExitCode> {
                 }
                 None => false,
             },
-            _ => false,
+            "--self-test-panic" => value.parse().map(|v| opts.self_test_panic = Some(v)).is_ok(),
+            other => parse_runtime_flag(other, value, &mut opts.runtime).unwrap_or(false),
         };
         if !ok {
             return None;
@@ -278,14 +368,38 @@ fn run_inject(args: &[String]) -> Option<ExitCode> {
         opts.cases,
         ede_util::pool::Pool::new(opts.jobs).jobs()
     );
-    let report = inject(&opts);
+    let report = match inject_campaign(&opts) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("inject: {e}");
+            return Some(ExitCode::from(2));
+        }
+    };
     if let Some(path) = &metrics_path {
         write_or_die(path, &format!("{}\n", report.metrics().to_json()));
         eprintln!("inject: campaign metrics written to {path}");
     }
     println!("{}", report.to_json());
+    let over_budget = report_quarantined(&report.quarantined, &opts.runtime);
     Some(if report.all_covered() {
-        ExitCode::SUCCESS
+        if report.interrupted {
+            println!(
+                "INTERRUPTED: {} of {} cell(s) done",
+                report.cells.len() + report.quarantined.len(),
+                opts.faults.len() * opts.archs.len(),
+            );
+            resume_hint("inject", &opts.runtime);
+            ExitCode::from(3)
+        } else if over_budget {
+            println!(
+                "QUARANTINE BUDGET EXCEEDED: {} harness panic(s), budget {}",
+                report.quarantined.len(),
+                opts.runtime.max_quarantined,
+            );
+            ExitCode::from(2)
+        } else {
+            ExitCode::SUCCESS
+        }
     } else {
         if let Some(f) = &report.failure {
             println!(
@@ -363,7 +477,8 @@ fn run_explore(args: &[String]) -> Option<ExitCode> {
                 }
                 None => false,
             },
-            _ => false,
+            "--self-test-panic" => value.parse().map(|v| opts.self_test_panic = Some(v)).is_ok(),
+            other => parse_runtime_flag(other, value, &mut opts.runtime).unwrap_or(false),
         };
         if !ok {
             return None;
@@ -376,11 +491,15 @@ fn run_explore(args: &[String]) -> Option<ExitCode> {
         "explore: {} worker(s)",
         ede_util::pool::Pool::new(opts.jobs).jobs()
     );
-    let report = match ede_check::explore(&opts) {
+    let report = match explore_campaign(&opts) {
         Ok(report) => report,
-        Err(e) => {
+        Err(ExploreError::Usage(e)) => {
             eprintln!("explore: {e}");
             return Some(ExitCode::from(1));
+        }
+        Err(ExploreError::Resume(e)) => {
+            eprintln!("explore: {e}");
+            return Some(ExitCode::from(2));
         }
     };
     if let Some(path) = &metrics_path {
@@ -388,12 +507,30 @@ fn run_explore(args: &[String]) -> Option<ExitCode> {
         eprintln!("explore: metrics written to {path}");
     }
     println!("{}", report.to_json());
+    let over_budget = report_quarantined(&report.quarantined, &opts.runtime);
     Some(if report.all_proved() {
-        println!(
-            "ok: {} cell(s) proved over every admissible crash state",
-            report.cells.len()
-        );
-        ExitCode::SUCCESS
+        if report.interrupted {
+            println!(
+                "INTERRUPTED: {} of {} cell(s) done",
+                report.cells.len() + report.quarantined.len(),
+                report.planned_cells,
+            );
+            resume_hint("explore", &opts.runtime);
+            ExitCode::from(3)
+        } else if over_budget {
+            println!(
+                "QUARANTINE BUDGET EXCEEDED: {} harness panic(s), budget {}",
+                report.quarantined.len(),
+                opts.runtime.max_quarantined,
+            );
+            ExitCode::from(2)
+        } else {
+            println!(
+                "ok: {} cell(s) proved over every admissible crash state",
+                report.cells.len()
+            );
+            ExitCode::SUCCESS
+        }
     } else {
         for c in &report.cells {
             if let Some(cx) = &c.counterexample {

@@ -14,12 +14,14 @@
 use crate::conform::check_run;
 use crate::gen::{cmds_strategy, concretize, Cmd};
 use crate::golden::{self, GoldenConfig};
+use crate::resume::{CampaignDriver, CaseOutcome, ResumeError, RuntimeOptions};
 use ede_cpu::FaultInjection;
 use ede_isa::{ArchConfig, Program};
 use ede_sim::{raw_output, run_program, run_program_traced, SimConfig};
 use ede_util::check::{minimize, Strategy};
 use ede_util::obs::Registry;
 use ede_util::pool::Pool;
+use ede_util::progress;
 use ede_util::rng::{mix64, SmallRng, SplitMix64};
 use std::sync::atomic::{AtomicU32, Ordering};
 
@@ -53,6 +55,15 @@ pub struct FuzzOptions {
     /// document is byte-identical either way; `false` selects the
     /// reference per-cycle path (`--no-fast-forward` in the CLI).
     pub fast_forward: bool,
+    /// Checkpoint/resume, deadline, and quarantine-budget settings
+    /// (see [`RuntimeOptions`]). None of them change a byte of the
+    /// final report, so they are excluded from the options
+    /// fingerprint.
+    pub runtime: RuntimeOptions,
+    /// Self-test hook: deliberately panic the harness on this case
+    /// index, proving the quarantine path is load-bearing
+    /// (`--self-test-panic` in the CLI).
+    pub self_test_panic: Option<u32>,
 }
 
 impl Default for FuzzOptions {
@@ -71,8 +82,28 @@ impl Default for FuzzOptions {
             jobs: 0,
             progress_every: 0,
             fast_forward: true,
+            runtime: RuntimeOptions::default(),
+            self_test_panic: None,
         }
     }
+}
+
+/// The canonical options fingerprint recorded in checkpoints: every
+/// option that can change the report, and nothing that cannot
+/// (`jobs`, `progress_every`, and `runtime` are excluded).
+pub fn fingerprint(opts: &FuzzOptions) -> String {
+    format!(
+        "fuzz seed={:#x} cases={} max_cmds={} archs=[{}] fault={:?} \
+         max_shrink_iters={} fast_forward={} self_test_panic={:?}",
+        opts.seed,
+        opts.cases,
+        opts.max_cmds,
+        opts.archs.iter().map(|a| a.label()).collect::<Vec<_>>().join(","),
+        opts.fault,
+        opts.max_shrink_iters,
+        opts.fast_forward,
+        opts.self_test_panic,
+    )
 }
 
 /// A conformance failure, shrunk to a minimal reproducer.
@@ -97,10 +128,17 @@ pub struct FuzzFailure {
 /// Outcome of a fuzzing session.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct FuzzReport {
-    /// Cases executed (equals the budget unless a failure stopped it).
+    /// Cases executed (equals the budget unless a failure or the
+    /// deadline stopped it).
     pub cases_run: u32,
     /// The first failure found, if any, already shrunk.
     pub failure: Option<FuzzFailure>,
+    /// Whether the deadline tripped before the budget was exhausted;
+    /// a checkpoint (when configured) holds the progress so far.
+    pub interrupted: bool,
+    /// Harness panics caught and quarantined instead of aborting the
+    /// scan ([`CaseOutcome::HarnessPanic`] entries, in case order).
+    pub quarantined: Vec<CaseOutcome>,
 }
 
 /// The simulation configuration cases run under: A72 tables with a cycle
@@ -225,60 +263,125 @@ fn case_failure(opts: &FuzzOptions, case: u32) -> FuzzFailure {
 /// earliest failing case index decides the verdict, and its reproducer
 /// is regenerated and shrunk sequentially, so every job count yields the
 /// same [`FuzzReport`] bit for bit.
+///
+/// # Panics
+///
+/// When [`FuzzOptions::runtime`] persistence hits an I/O error — use
+/// [`fuzz_campaign`] to handle checkpoint failures as values.
 pub fn fuzz(opts: &FuzzOptions) -> FuzzReport {
+    fuzz_campaign(opts).expect("campaign runtime error")
+}
+
+/// [`fuzz`] with the resilient campaign runtime surfaced: checkpoint
+/// and resume errors come back as typed [`ResumeError`]s. The contract
+/// on resume: the final report (and everything derived from it) is
+/// byte-identical to the same campaign run uninterrupted.
+///
+/// # Errors
+///
+/// A [`ResumeError`] when the resume checkpoint is missing, malformed,
+/// or fingerprint-mismatched, or when a checkpoint flush failed.
+pub fn fuzz_campaign(opts: &FuzzOptions) -> Result<FuzzReport, ResumeError> {
     let pool = Pool::new(opts.jobs);
-    let workers = pool.jobs().min(opts.cases.max(1) as usize).max(1);
-    let chunk = opts.cases.div_ceil(workers as u32);
+    let driver = CampaignDriver::new(
+        "fuzz",
+        fingerprint(opts),
+        opts.seed,
+        u64::from(opts.cases),
+        &opts.runtime,
+    )?;
+    // "Virtual workers" partition the case range for progress
+    // accounting exactly like the chunked scan used to, keeping the
+    // pinned per-worker line format independent of pool scheduling.
+    let workers = pool.jobs().min(opts.cases.max(1) as usize).max(1) as u32;
+    let chunk = opts.cases.div_ceil(workers).max(1);
+    let counters: Vec<(AtomicU32, AtomicU32)> = (0..workers)
+        .map(|_| (AtomicU32::new(0), AtomicU32::new(0)))
+        .collect();
     // Earliest failing case across all workers; u32::MAX = none yet.
-    // Workers past this index stop scanning — their cases could not
-    // change the verdict.
-    let earliest = AtomicU32::new(u32::MAX);
-    pool.run(workers, |w| {
-        let lo = w as u32 * chunk;
-        let hi = (lo + chunk).min(opts.cases);
-        let total = hi.saturating_sub(lo);
-        // This worker's seed stream is the master stream fast-forwarded
-        // to its chunk — the same seeds a sequential scan would draw.
-        let mut seeds = SplitMix64::new(mix64(opts.seed));
-        seeds.jump(u64::from(lo));
-        let strat = cmds_strategy(opts.max_cmds);
-        let mut done = 0u32;
-        let mut violations = 0u32;
-        for case in lo..hi {
-            if earliest.load(Ordering::Relaxed) <= case {
-                break;
-            }
-            let case_seed = seeds.next_u64();
-            let mut rng = SmallRng::seed_from_u64(case_seed);
-            let sh = strat.generate(&mut rng);
-            let failed = opts
-                .archs
-                .iter()
-                .any(|&arch| !diff_case_ff(&sh.value, arch, opts.fault, opts.fast_forward).is_empty());
-            done += 1;
-            if failed {
-                violations += 1;
-                earliest.fetch_min(case, Ordering::Relaxed);
-                break;
-            }
-            if opts.progress_every > 0 && done.is_multiple_of(opts.progress_every) {
-                eprintln!("{}", progress_line(w, done, total, violations));
-            }
+    // Workers past this index skip their cases — they could not change
+    // the verdict. A resumed failure seeds the cutoff.
+    let earliest = AtomicU32::new(
+        driver
+            .earliest_failure()
+            .map_or(u32::MAX, |u| u32::try_from(u).expect("case indices are u32")),
+    );
+    let outcomes = pool.run_quarantined(opts.cases as usize, |i| {
+        let case = i as u32;
+        if driver.is_done(u64::from(case)) || driver.interrupted() {
+            return;
         }
-        if opts.progress_every > 0 {
-            eprintln!("{}", progress_line(w, done, total, violations));
+        if earliest.load(Ordering::Relaxed) < case {
+            return;
+        }
+        // The per-case seed is the master stream fast-forwarded to the
+        // case — the same seed a sequential scan would draw.
+        let mut seeds = SplitMix64::new(mix64(opts.seed));
+        seeds.jump(u64::from(case));
+        let case_seed = seeds.next_u64();
+        if opts.self_test_panic == Some(case) {
+            panic!("deliberate harness panic at case {case}");
+        }
+        let strat = cmds_strategy(opts.max_cmds);
+        let mut rng = SmallRng::seed_from_u64(case_seed);
+        let sh = strat.generate(&mut rng);
+        let failed = opts
+            .archs
+            .iter()
+            .any(|&arch| !diff_case_ff(&sh.value, arch, opts.fault, opts.fast_forward).is_empty());
+        let w = case / chunk;
+        let (done_ctr, viol_ctr) = &counters[w as usize];
+        let done = done_ctr.fetch_add(1, Ordering::Relaxed) + 1;
+        if failed {
+            viol_ctr.fetch_add(1, Ordering::Relaxed);
+            earliest.fetch_min(case, Ordering::Relaxed);
+            driver.record_failure(u64::from(case));
+        }
+        driver.complete(u64::from(case), None);
+        if !failed && opts.progress_every > 0 && done.is_multiple_of(opts.progress_every) {
+            let total = chunk.min(opts.cases - w * chunk);
+            progress::stderr().line(&progress_line(
+                w as usize,
+                done,
+                total,
+                viol_ctr.load(Ordering::Relaxed),
+            ));
         }
     });
-    match earliest.into_inner() {
-        u32::MAX => FuzzReport {
-            cases_run: opts.cases,
-            failure: None,
-        },
-        case => FuzzReport {
-            cases_run: case + 1,
-            failure: Some(case_failure(opts, case)),
-        },
+    for (i, outcome) in outcomes.iter().enumerate() {
+        if let Err(up) = outcome {
+            driver.quarantine(i as u64, up.message.clone());
+        }
     }
+    if opts.progress_every > 0 {
+        for w in 0..workers {
+            let total = chunk.min(opts.cases.saturating_sub(w * chunk));
+            let (done_ctr, viol_ctr) = &counters[w as usize];
+            progress::stderr().line(&progress_line(
+                w as usize,
+                done_ctr.load(Ordering::Relaxed),
+                total,
+                viol_ctr.load(Ordering::Relaxed),
+            ));
+        }
+    }
+    let end = driver.finish()?;
+    let scanned = end.completed + end.quarantined.len() as u64;
+    let interrupted = end.interrupted && scanned < u64::from(opts.cases);
+    let failure = driver
+        .earliest_failure()
+        .map(|case| case_failure(opts, u32::try_from(case).expect("case indices are u32")));
+    let cases_run = match &failure {
+        Some(f) => f.case + 1,
+        None if interrupted => u32::try_from(scanned).expect("case indices are u32"),
+        None => opts.cases,
+    };
+    Ok(FuzzReport {
+        cases_run,
+        failure,
+        interrupted,
+        quarantined: end.quarantined,
+    })
 }
 
 #[cfg(test)]
@@ -347,6 +450,105 @@ mod tests {
                 a.to_json()
             );
         }
+    }
+
+    #[test]
+    fn self_test_panic_is_quarantined_not_fatal() {
+        let report = fuzz(&FuzzOptions {
+            cases: 6,
+            max_cmds: 10,
+            self_test_panic: Some(2),
+            ..FuzzOptions::default()
+        });
+        assert!(report.failure.is_none(), "{:?}", report.failure);
+        assert!(!report.interrupted);
+        assert_eq!(report.cases_run, 6);
+        assert_eq!(
+            report.quarantined,
+            vec![CaseOutcome::HarnessPanic {
+                payload: "deliberate harness panic at case 2".to_string(),
+                case: 2,
+            }]
+        );
+    }
+
+    #[test]
+    fn stop_after_interrupts_and_resume_restores_the_clean_report() {
+        let dir = std::env::temp_dir().join(format!("ede-fuzz-resume-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("cp.json");
+        let base = FuzzOptions {
+            cases: 8,
+            max_cmds: 12,
+            jobs: 1,
+            ..FuzzOptions::default()
+        };
+        let clean = fuzz(&base);
+        let interrupted = fuzz(&FuzzOptions {
+            runtime: RuntimeOptions {
+                checkpoint_path: Some(path.clone()),
+                checkpoint_every: 1,
+                stop_after_units: Some(3),
+                ..RuntimeOptions::default()
+            },
+            ..base.clone()
+        });
+        assert!(interrupted.interrupted);
+        assert!(interrupted.cases_run < base.cases);
+        let resumed = fuzz(&FuzzOptions {
+            runtime: RuntimeOptions {
+                resume_from: Some(path.clone()),
+                ..RuntimeOptions::default()
+            },
+            ..base.clone()
+        });
+        assert_eq!(resumed, clean);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn changed_options_reject_the_checkpoint_with_a_typed_error() {
+        let dir = std::env::temp_dir().join(format!("ede-fuzz-fp-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("cp.json");
+        let base = FuzzOptions {
+            cases: 4,
+            max_cmds: 10,
+            runtime: RuntimeOptions {
+                checkpoint_path: Some(path.clone()),
+                ..RuntimeOptions::default()
+            },
+            ..FuzzOptions::default()
+        };
+        fuzz(&base);
+        let resume = RuntimeOptions {
+            resume_from: Some(path.clone()),
+            ..RuntimeOptions::default()
+        };
+        for changed in [
+            FuzzOptions { seed: 1, ..base.clone() },
+            FuzzOptions { archs: vec![ArchConfig::Baseline], ..base.clone() },
+            FuzzOptions { fault: Some(FaultInjection::DropEdeps), ..base.clone() },
+        ] {
+            let err = fuzz_campaign(&FuzzOptions {
+                runtime: resume.clone(),
+                ..changed
+            })
+            .expect_err("changed options must be rejected");
+            assert!(
+                matches!(err, ResumeError::Fingerprint { .. }),
+                "unexpected error: {err}"
+            );
+        }
+        // Unchanged semantic options resume fine, under any job count.
+        let ok = fuzz_campaign(&FuzzOptions {
+            jobs: 3,
+            runtime: resume,
+            ..base.clone()
+        })
+        .expect("identical options resume");
+        assert_eq!(ok, fuzz(&FuzzOptions { runtime: RuntimeOptions::default(), ..base }));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

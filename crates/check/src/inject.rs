@@ -42,6 +42,7 @@
 use crate::conform::check_run;
 use crate::gen::{cmds_strategy, concretize, Cmd};
 use crate::golden::{self, GoldenConfig};
+use crate::resume::{CampaignDriver, CaseOutcome, ResumeError, RuntimeOptions};
 use ede_isa::{ArchConfig, Program};
 use ede_mem::trace::nvm_image_at;
 use ede_mem::{FaultInjection, FaultLayer};
@@ -49,6 +50,9 @@ use ede_nvm::recovery::NvmImage;
 use ede_nvm::{CrashChecker, Layout, TxOutput, TxWriter};
 use ede_sim::{raw_output, run_program, run_program_traced, RunResult, SimConfig};
 use ede_util::check::{minimize, Strategy};
+use ede_util::obs::{json, json_escape};
+use ede_util::pool::Pool;
+use ede_util::progress;
 use ede_util::rng::{mix64, SmallRng, SplitMix64};
 use std::collections::BTreeMap;
 
@@ -85,6 +89,13 @@ pub struct InjectOptions {
     /// byte-identical either way; `false` selects the reference
     /// per-cycle path (`--no-fast-forward` in the CLI).
     pub fast_forward: bool,
+    /// Checkpoint/resume, deadline, and quarantine-budget settings
+    /// (see [`RuntimeOptions`]); excluded from the fingerprint.
+    pub runtime: RuntimeOptions,
+    /// Self-test hook: deliberately panic the harness on this cell
+    /// index, proving the quarantine path is load-bearing
+    /// (`--self-test-panic` in the CLI).
+    pub self_test_panic: Option<u32>,
 }
 
 impl Default for InjectOptions {
@@ -100,8 +111,29 @@ impl Default for InjectOptions {
             detectors_enabled: true,
             progress_every: 0,
             fast_forward: true,
+            runtime: RuntimeOptions::default(),
+            self_test_panic: None,
         }
     }
+}
+
+/// The canonical options fingerprint recorded in checkpoints: every
+/// option that can change the report, and nothing that cannot
+/// (`jobs`, `progress_every`, and `runtime` are excluded).
+pub fn fingerprint(opts: &InjectOptions) -> String {
+    format!(
+        "inject seed={:#x} cases={} max_cmds={} archs=[{}] faults={:?} \
+         max_shrink_iters={} detectors_enabled={} fast_forward={} self_test_panic={:?}",
+        opts.seed,
+        opts.cases,
+        opts.max_cmds,
+        opts.archs.iter().map(|a| a.label()).collect::<Vec<_>>().join(","),
+        opts.faults,
+        opts.max_shrink_iters,
+        opts.detectors_enabled,
+        opts.fast_forward,
+        opts.self_test_panic,
+    )
 }
 
 /// How one probe case ended.
@@ -179,10 +211,16 @@ pub struct InjectReport {
     pub cases: u32,
     /// Whether detectors were live (`false` only in the self-test).
     pub detectors_enabled: bool,
-    /// One entry per (fault, architecture), in sweep order.
+    /// One entry per (fault, architecture), in sweep order. Cells the
+    /// deadline interrupted or the quarantine caught are absent.
     pub cells: Vec<CellReport>,
     /// The first silent corruption in cell order, already shrunk.
     pub failure: Option<InjectFailure>,
+    /// Whether the deadline tripped before every cell completed.
+    pub interrupted: bool,
+    /// Harness panics caught and quarantined instead of aborting the
+    /// sweep ([`CaseOutcome::HarnessPanic`] entries, in cell order).
+    pub quarantined: Vec<CaseOutcome>,
 }
 
 impl InjectReport {
@@ -224,6 +262,27 @@ impl InjectReport {
             ));
         }
         s.push_str("  ],\n");
+        // Emitted only when set, so a completed clean campaign's
+        // document is byte-identical to the pre-runtime format — the
+        // resume byte-identity contract and the CI diffs rely on it.
+        if self.interrupted {
+            s.push_str("  \"interrupted\": true,\n");
+        }
+        if !self.quarantined.is_empty() {
+            s.push_str("  \"quarantined\": [");
+            for (i, q) in self.quarantined.iter().enumerate() {
+                if let CaseOutcome::HarnessPanic { payload, case } = q {
+                    if i > 0 {
+                        s.push_str(", ");
+                    }
+                    s.push_str(&format!(
+                        "{{\"cell\": {case}, \"payload\": {}}}",
+                        json_escape(payload)
+                    ));
+                }
+            }
+            s.push_str("],\n");
+        }
         s.push_str(&format!("  \"covered\": {}\n", self.all_covered()));
         s.push('}');
         s
@@ -497,16 +556,66 @@ fn run_cell(opts: &InjectOptions, cell_index: usize, fault: FaultInjection, arch
         }
     }
     if opts.progress_every > 0 {
-        eprintln!(
+        progress::stderr().line(&format!(
             "inject: {}/{}: {} detected, {} tolerated, {} silent",
             fault.label(),
             arch.label(),
             report.detected(),
             report.tolerated,
             report.silent
-        );
+        ));
     }
     report
+}
+
+/// Serializes one cell's counters for the checkpoint payload store.
+fn cell_payload(c: &CellReport) -> String {
+    format!(
+        "{{\"conformance\": {}, \"watchdog\": {}, \"cycle_limit\": {}, \
+         \"crash_checker\": {}, \"tolerated\": {}, \"silent\": {}, \"first_silent\": {}}}",
+        c.conformance,
+        c.watchdog,
+        c.cycle_limit,
+        c.crash_checker,
+        c.tolerated,
+        c.silent,
+        c.first_silent.map_or("null".to_string(), |v| v.to_string()),
+    )
+}
+
+/// Restores one cell from its checkpoint payload.
+fn parse_cell_payload(
+    data: &str,
+    fault: FaultInjection,
+    arch: ArchConfig,
+) -> Result<CellReport, String> {
+    let doc = json::parse(data).map_err(|e| format!("cell payload: {e}"))?;
+    let counter = |key: &str| {
+        doc.get(key)
+            .and_then(json::Json::as_u64)
+            .and_then(|v| u32::try_from(v).ok())
+            .ok_or_else(|| format!("cell payload lacks counter {key}"))
+    };
+    let first_silent = match doc.get("first_silent") {
+        Some(json::Json::Null) => None,
+        Some(v) => Some(
+            v.as_u64()
+                .and_then(|v| u32::try_from(v).ok())
+                .ok_or_else(|| "cell payload first_silent is not a case index".to_string())?,
+        ),
+        None => return Err("cell payload lacks first_silent".to_string()),
+    };
+    Ok(CellReport {
+        fault,
+        arch,
+        conformance: counter("conformance")?,
+        watchdog: counter("watchdog")?,
+        cycle_limit: counter("cycle_limit")?,
+        crash_checker: counter("crash_checker")?,
+        tolerated: counter("tolerated")?,
+        silent: counter("silent")?,
+        first_silent,
+    })
 }
 
 /// Regenerates a cell's silent case from its index and shrinks it —
@@ -547,26 +656,91 @@ fn silent_failure(
 /// master stream, and the first silent case (in cell order) is
 /// regenerated and shrunk sequentially, so every job count yields the
 /// same [`InjectReport`] bit for bit.
+///
+/// # Panics
+///
+/// When [`InjectOptions::runtime`] persistence hits an I/O error — use
+/// [`inject_campaign`] to handle checkpoint failures as values.
 pub fn inject(opts: &InjectOptions) -> InjectReport {
+    inject_campaign(opts).expect("campaign runtime error")
+}
+
+/// [`inject`] with the resilient campaign runtime surfaced: checkpoint
+/// and resume errors come back as typed [`ResumeError`]s. Work units
+/// are matrix cells; completed cells persist their counters in the
+/// checkpoint payload store and are restored verbatim on resume, so a
+/// resumed campaign's report is byte-identical to an uninterrupted
+/// one.
+///
+/// # Errors
+///
+/// A [`ResumeError`] when the resume checkpoint is missing, malformed,
+/// or fingerprint-mismatched, or when a checkpoint flush failed.
+pub fn inject_campaign(opts: &InjectOptions) -> Result<InjectReport, ResumeError> {
     let cells: Vec<(FaultInjection, ArchConfig)> = opts
         .faults
         .iter()
         .flat_map(|&f| opts.archs.iter().map(move |&a| (f, a)))
         .collect();
-    let reports = ede_util::pool::par_map_indexed(opts.jobs, &cells, |i, &(fault, arch)| {
-        run_cell(opts, i, fault, arch)
+    let driver = CampaignDriver::new(
+        "inject",
+        fingerprint(opts),
+        opts.seed,
+        cells.len() as u64,
+        &opts.runtime,
+    )?;
+    // Restore resumed cells up front: a corrupt payload must fail the
+    // session before any compute, not mid-assembly.
+    let mut restored: BTreeMap<usize, CellReport> = BTreeMap::new();
+    for (i, &(fault, arch)) in cells.iter().enumerate() {
+        if let Some(data) = driver.payload(i as u64) {
+            let cell = parse_cell_payload(&data, fault, arch)
+                .map_err(|detail| ResumeError::Corrupt { detail })?;
+            restored.insert(i, cell);
+        }
+    }
+    let pool = Pool::new(opts.jobs);
+    let outcomes = pool.run_quarantined(cells.len(), |i| {
+        if driver.is_done(i as u64) || driver.interrupted() {
+            return None;
+        }
+        if opts.self_test_panic == Some(i as u32) {
+            panic!("deliberate harness panic at cell {i}");
+        }
+        let (fault, arch) = cells[i];
+        let cell = run_cell(opts, i, fault, arch);
+        driver.complete(i as u64, Some(cell_payload(&cell)));
+        Some(cell)
     });
-    let failure = reports.iter().enumerate().find_map(|(i, r)| {
+    // Assemble in cell order: fresh results, resumed cells, and gaps
+    // for quarantined or interrupted cells (absent from the report).
+    let mut reports: Vec<(usize, CellReport)> = Vec::new();
+    for (i, outcome) in outcomes.into_iter().enumerate() {
+        match outcome {
+            Ok(Some(cell)) => reports.push((i, cell)),
+            Ok(None) => {
+                if let Some(cell) = restored.remove(&i) {
+                    reports.push((i, cell));
+                }
+            }
+            Err(up) => driver.quarantine(i as u64, up.message.clone()),
+        }
+    }
+    let failure = reports.iter().find_map(|&(i, ref r)| {
         r.first_silent
             .map(|case| silent_failure(opts, i, r.fault, r.arch, case))
     });
-    InjectReport {
+    let end = driver.finish()?;
+    let scanned = end.completed + end.quarantined.len() as u64;
+    Ok(InjectReport {
         seed: opts.seed,
         cases: opts.cases,
         detectors_enabled: opts.detectors_enabled,
-        cells: reports,
+        cells: reports.into_iter().map(|(_, r)| r).collect(),
         failure,
-    }
+        interrupted: end.interrupted && scanned < cells.len() as u64,
+        quarantined: end.quarantined,
+    })
 }
 
 #[cfg(test)]
@@ -660,6 +834,91 @@ mod tests {
             assert_eq!(report, base, "jobs {jobs}");
             assert_eq!(report.to_json(), base.to_json(), "jobs {jobs}");
         }
+    }
+
+    #[test]
+    fn cell_payload_round_trips() {
+        let cell = CellReport {
+            fault: FaultInjection::WeakDsb,
+            arch: ArchConfig::IssueQueue,
+            conformance: 3,
+            watchdog: 1,
+            cycle_limit: 0,
+            crash_checker: 2,
+            tolerated: 7,
+            silent: 1,
+            first_silent: Some(4),
+        };
+        let parsed = parse_cell_payload(
+            &cell_payload(&cell),
+            FaultInjection::WeakDsb,
+            ArchConfig::IssueQueue,
+        )
+        .expect("round trip");
+        assert_eq!(parsed, cell);
+        assert!(parse_cell_payload("{}", cell.fault, cell.arch).is_err());
+    }
+
+    #[test]
+    fn self_test_panic_quarantines_the_cell_and_the_sweep_finishes() {
+        let report = inject(&InjectOptions {
+            cases: 1,
+            max_cmds: 12,
+            faults: vec![FaultInjection::DropEdeps, FaultInjection::WeakDsb],
+            archs: vec![ArchConfig::Baseline],
+            self_test_panic: Some(0),
+            ..InjectOptions::default()
+        });
+        // The panicked cell is quarantined; the other still ran.
+        assert_eq!(report.cells.len(), 1);
+        assert_eq!(
+            report.quarantined,
+            vec![CaseOutcome::HarnessPanic {
+                payload: "deliberate harness panic at cell 0".to_string(),
+                case: 0,
+            }]
+        );
+        assert!(!report.interrupted);
+        assert!(report.to_json().contains("\"quarantined\": [{\"cell\": 0,"));
+    }
+
+    #[test]
+    fn interrupt_and_resume_restores_the_clean_matrix() {
+        let dir = std::env::temp_dir().join(format!("ede-inject-resume-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("cp.json");
+        let base = InjectOptions {
+            cases: 1,
+            max_cmds: 15,
+            faults: vec![FaultInjection::WeakDsb, FaultInjection::TornStp],
+            archs: vec![ArchConfig::Baseline, ArchConfig::WriteBuffer],
+            jobs: 1,
+            ..InjectOptions::default()
+        };
+        let clean = inject(&base);
+        let interrupted = inject(&InjectOptions {
+            runtime: RuntimeOptions {
+                checkpoint_path: Some(path.clone()),
+                checkpoint_every: 1,
+                stop_after_units: Some(2),
+                ..RuntimeOptions::default()
+            },
+            ..base.clone()
+        });
+        assert!(interrupted.interrupted);
+        assert!(interrupted.cells.len() < 4);
+        assert!(interrupted.to_json().contains("\"interrupted\": true"));
+        let resumed = inject(&InjectOptions {
+            jobs: 2,
+            runtime: RuntimeOptions {
+                resume_from: Some(path.clone()),
+                ..RuntimeOptions::default()
+            },
+            ..base.clone()
+        });
+        assert_eq!(resumed, clean);
+        assert_eq!(resumed.to_json(), clean.to_json());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

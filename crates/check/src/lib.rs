@@ -36,6 +36,12 @@
 //!   axioms, crash checker, or pipeline watchdog) or provably
 //!   tolerated, emitting a JSON detection-coverage matrix
 //!   (`ede-sim inject`).
+//! * [`resume`] — the resilient campaign runtime shared by the three
+//!   campaign subcommands: versioned `ede.checkpoint.v1` documents
+//!   flushed atomically at a configurable cadence, fingerprint-checked
+//!   `--resume` with byte-identical final output, per-unit panic
+//!   quarantine, and graceful `--max-wall-secs` deadline shutdown
+//!   (exit code 3).
 //!
 //! # Example
 //!
@@ -56,10 +62,18 @@ pub mod gen;
 pub mod golden;
 pub mod inject;
 pub mod litmus;
+pub mod resume;
 
 pub use conform::check_run;
-pub use explore::{explore, ExploreOptions, ExploreReport, Source, Verdict};
-pub use fuzz::{fuzz, FuzzFailure, FuzzOptions, FuzzReport};
+pub use explore::{
+    explore, explore_campaign, ExploreError, ExploreOptions, ExploreReport, Source, Verdict,
+};
+pub use fuzz::{fuzz, fuzz_campaign, FuzzFailure, FuzzOptions, FuzzReport};
 pub use gen::{cmd_strategy, cmds_strategy, concretize, Cmd};
 pub use golden::{GoldenConfig, GoldenError, GoldenRun};
-pub use inject::{inject, CellReport, InjectFailure, InjectOptions, InjectReport};
+pub use inject::{
+    inject, inject_campaign, CellReport, InjectFailure, InjectOptions, InjectReport,
+};
+pub use resume::{
+    CampaignDriver, CampaignEnd, CaseOutcome, Checkpoint, ResumeError, RuntimeOptions,
+};

@@ -206,4 +206,94 @@ fn bad_usage_exits_1() {
     assert_eq!(ede_sim(&["fuzz", "--jobs"]).status.code(), Some(1));
     assert_eq!(ede_sim(&["fuzz", "--jobs", "x"]).status.code(), Some(1));
     assert_eq!(ede_sim(&["frobnicate"]).status.code(), Some(1));
+    assert_eq!(ede_sim(&["fuzz", "--checkpoint-every", "x"]).status.code(), Some(1));
+    assert_eq!(ede_sim(&["explore", "--max-wall-secs"]).status.code(), Some(1));
+}
+
+fn checkpoint_path(tag: &str) -> String {
+    let dir = std::env::temp_dir().join(format!("ede-cli-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(format!("{tag}.json")).to_str().expect("utf-8 path").to_string()
+}
+
+#[test]
+fn interrupted_fuzz_resumes_to_byte_identical_stdout() {
+    let cp = checkpoint_path("fuzz-resume");
+    let base = ["fuzz", "--seed", "0", "--cases", "30", "--max-cmds", "15"];
+    let run = |extra: &[&str]| {
+        let mut args = base.to_vec();
+        args.extend_from_slice(extra);
+        ede_sim(&args)
+    };
+    let clean = run(&["--jobs", "1"]);
+    assert!(clean.status.success());
+    let interrupted = run(&[
+        "--jobs", "1", "--checkpoint", &cp, "--checkpoint-every", "1", "--stop-after", "5",
+    ]);
+    assert_eq!(interrupted.status.code(), Some(3), "deadline exit code");
+    let stdout = String::from_utf8(interrupted.stdout).unwrap();
+    assert!(
+        stdout.contains("INTERRUPTED: 5 of 30 case(s) done"),
+        "stdout: {stdout}"
+    );
+    let stderr = String::from_utf8(interrupted.stderr).unwrap();
+    assert!(stderr.contains("resume with --resume"), "stderr: {stderr}");
+    // Resuming — even on a different worker count — replays to the
+    // exact stdout of the run that never stopped.
+    let resumed = run(&["--jobs", "4", "--resume", &cp]);
+    assert!(resumed.status.success());
+    assert_eq!(resumed.stdout, clean.stdout, "resumed stdout must match clean run");
+}
+
+#[test]
+fn resume_with_changed_options_is_a_typed_exit_2() {
+    let cp = checkpoint_path("fuzz-mismatch");
+    let seeded = ede_sim(&[
+        "fuzz", "--seed", "0", "--cases", "10", "--max-cmds", "12",
+        "--checkpoint", &cp, "--checkpoint-every", "1", "--stop-after", "2",
+    ]);
+    assert_eq!(seeded.status.code(), Some(3));
+    let mismatched = ede_sim(&[
+        "fuzz", "--seed", "1", "--cases", "10", "--max-cmds", "12", "--resume", &cp,
+    ]);
+    assert_eq!(mismatched.status.code(), Some(2));
+    let stderr = String::from_utf8(mismatched.stderr).unwrap();
+    assert!(stderr.contains("fingerprint mismatch"), "stderr: {stderr}");
+    assert!(stderr.contains("resume with the original options"), "stderr: {stderr}");
+}
+
+#[test]
+fn harness_panics_are_quarantined_and_counted_against_the_budget() {
+    let base = [
+        "fuzz", "--seed", "0", "--cases", "12", "--max-cmds", "12", "--self-test-panic", "5",
+    ];
+    let strict = ede_sim(&base);
+    assert_eq!(strict.status.code(), Some(2), "default budget 0");
+    let stdout = String::from_utf8(strict.stdout).unwrap();
+    assert!(
+        stdout.contains("quarantined case 5: deliberate harness panic at case 5"),
+        "stdout: {stdout}"
+    );
+    assert!(stdout.contains("QUARANTINE BUDGET EXCEEDED: 1 harness panic(s), budget 0"));
+    let mut lenient = base.to_vec();
+    lenient.extend_from_slice(&["--max-quarantined", "1"]);
+    let lenient = ede_sim(&lenient);
+    assert_eq!(lenient.status.code(), Some(0), "budget 1 tolerates one panic");
+    let stdout = String::from_utf8(lenient.stdout).unwrap();
+    assert!(stdout.contains("quarantined: 1 harness panic(s)"), "stdout: {stdout}");
+    assert!(stdout.ends_with("ok: 12 cases, zero conformance diffs\n"), "stdout: {stdout}");
+}
+
+#[test]
+fn env_deadline_zero_interrupts_every_campaign_with_exit_3() {
+    for sub in ["fuzz", "inject", "explore"] {
+        let out = Command::new(env!("CARGO_BIN_EXE_ede-sim"))
+            .args([sub, "--seed", "0", "--cases", "4", "--max-cmds", "10", "--jobs", "2"])
+            .env("EDE_DEADLINE_SECS", "0")
+            .output()
+            .expect("spawn ede-sim");
+        assert_eq!(out.status.code(), Some(3), "{sub} under a zero deadline");
+        let stdout = String::from_utf8(out.stdout).unwrap();
+        assert!(stdout.contains("INTERRUPTED: 0 of "), "{sub} stdout: {stdout}");
+    }
 }

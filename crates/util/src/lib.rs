@@ -21,7 +21,9 @@
 //! * [`obs`] — a metrics registry (counters, gauges, log2-bucketed
 //!   histograms) with byte-stable JSON serialization, deterministic
 //!   merging, and a strict JSON parser for shape validation;
-//! * [`diff`] — line-oriented unified diffs for snapshot tests.
+//! * [`diff`] — line-oriented unified diffs for snapshot tests;
+//! * [`progress`] — a line-buffered, mutex-serialized writer so
+//!   concurrent campaign workers emit whole progress lines on stderr.
 //!
 //! Everything is deterministic by construction: a property-test failure
 //! prints the seed that reproduces it, the same seed always replays
@@ -35,4 +37,5 @@ pub mod check;
 pub mod diff;
 pub mod obs;
 pub mod pool;
+pub mod progress;
 pub mod rng;

@@ -502,6 +502,14 @@ pub mod json {
             }
         }
 
+        /// The value as a boolean.
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Json::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+
         /// The value as a non-negative integer, if it is one exactly.
         pub fn as_u64(&self) -> Option<u64> {
             match self {

@@ -14,11 +14,20 @@
 //! * **Work distribution** — an atomic cursor hands indices to workers
 //!   dynamically; results travel back over an mpsc channel tagged with
 //!   their index, so scheduling never affects output order.
-//! * **Panic propagation** — a panicking job poisons the pool (no new
-//!   jobs start), and the panic with the **lowest job index** is re-rose
-//!   on the caller with job context. Because indices are handed out in
-//!   order and job bodies are deterministic, the propagated panic is the
-//!   same on every run and for every job count.
+//! * **Panic handling** — selected per call by [`PoolPolicy`]:
+//!   [`PoolPolicy::Propagate`] (the [`Pool::run`] default) poisons the
+//!   pool on the first panic (no new jobs start) and re-raises the panic
+//!   with the **lowest job index** on the caller, annotated with the
+//!   unit and worker indices. [`PoolPolicy::Quarantine`]
+//!   ([`Pool::run_quarantined`]) `catch_unwind`s every work item
+//!   instead: panics become [`UnitPanic`] values in the result vector,
+//!   the pool is never poisoned, and every remaining unit still runs —
+//!   the mode the resilient campaign runtime uses to survive harness
+//!   faults. In both modes the panic payload and unit index are
+//!   deterministic (indices are handed out in order and job bodies are
+//!   deterministic); the worker index is scheduling-dependent
+//!   diagnostics only, which is why campaign reports record the payload
+//!   and unit but never the worker.
 //!
 //! # Example
 //!
@@ -56,6 +65,48 @@ pub fn resolve_jobs(requested: usize) -> usize {
     }
 }
 
+/// How a pool call treats a panicking work item.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PoolPolicy {
+    /// Poison the pool on the first panic and re-raise the panic with
+    /// the lowest unit index on the caller (the classic fail-fast
+    /// behavior of [`Pool::run`]).
+    Propagate,
+    /// `catch_unwind` every work item: a panic becomes an `Err(`
+    /// [`UnitPanic`] `)` in the result vector, the pool is not poisoned,
+    /// and every remaining unit still runs.
+    Quarantine,
+}
+
+/// A work item's panic, converted into data: which unit panicked, which
+/// worker thread it was running on, and the downcast payload.
+///
+/// The `unit` and `message` are deterministic for deterministic job
+/// bodies; `worker` depends on scheduling and exists for diagnostics
+/// only — keep it out of any output that must be byte-identical across
+/// job counts.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct UnitPanic {
+    /// The work-item index (the argument the job closure received).
+    pub unit: usize,
+    /// The pool worker the unit was running on (0 for inline runs).
+    pub worker: usize,
+    /// The panic payload, downcast to a string (see [`UnitPanic::message`]).
+    pub message: String,
+}
+
+impl UnitPanic {
+    /// The uniform caller-facing description: unit index, total, worker
+    /// index, payload — the same shape for propagate and quarantine
+    /// modes.
+    pub fn describe(&self, total: usize) -> String {
+        format!(
+            "parallel job {} of {} panicked on worker {}: {}",
+            self.unit, total, self.worker, self.message
+        )
+    }
+}
+
 /// A scoped worker pool of a fixed job count. The pool owns no threads
 /// between calls — each [`run`](Pool::run) spawns scoped workers and
 /// joins them before returning, so borrowed job closures need no
@@ -87,25 +138,71 @@ impl Pool {
     /// # Panics
     ///
     /// If any job panics, re-raises the panic with the lowest job index,
-    /// prefixed with that index for context. Jobs not yet started when
-    /// the first panic lands are skipped.
+    /// prefixed with that index, the total, and the worker index for
+    /// context ([`UnitPanic::describe`]). Jobs not yet started when the
+    /// first panic lands are skipped.
     pub fn run<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        self.run_policy(n, PoolPolicy::Propagate, f)
+            .into_iter()
+            .map(|r| match r {
+                Ok(v) => v,
+                Err(_) => unreachable!("Propagate re-raises before returning"),
+            })
+            .collect()
+    }
+
+    /// [`run`](Pool::run) with per-item panic isolation: every unit is
+    /// wrapped in `catch_unwind`, a panicking unit yields
+    /// `Err(UnitPanic)` in its slot, and the remaining units still run
+    /// to completion. The pool is never poisoned.
+    pub fn run_quarantined<T, F>(&self, n: usize, f: F) -> Vec<Result<T, UnitPanic>>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        self.run_policy(n, PoolPolicy::Quarantine, f)
+    }
+
+    /// The common fan-out core behind [`run`](Pool::run) and
+    /// [`run_quarantined`](Pool::run_quarantined), parameterized by the
+    /// panic policy. Under [`PoolPolicy::Propagate`] the returned vector
+    /// contains only `Ok` entries (the lowest-index panic is re-raised
+    /// instead of returned).
+    pub fn run_policy<T, F>(&self, n: usize, policy: PoolPolicy, f: F) -> Vec<Result<T, UnitPanic>>
     where
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
         let workers = self.jobs.min(n);
         if workers <= 1 {
-            return (0..n).map(f).collect();
+            return (0..n)
+                .map(|i| {
+                    catch_unwind(AssertUnwindSafe(|| f(i))).map_err(|payload| {
+                        let up = UnitPanic {
+                            unit: i,
+                            worker: 0,
+                            message: panic_message(payload.as_ref()),
+                        };
+                        if policy == PoolPolicy::Propagate {
+                            panic!("{}", up.describe(n));
+                        }
+                        up
+                    })
+                })
+                .collect();
         }
         let next = AtomicUsize::new(0);
         let poisoned = AtomicBool::new(false);
-        let (tx, rx) = mpsc::channel::<(usize, Result<T, String>)>();
+        let (tx, rx) = mpsc::channel::<(usize, Result<T, UnitPanic>)>();
         let f = &f;
-        let mut slots: Vec<Option<Result<T, String>>> = Vec::new();
+        let mut slots: Vec<Option<Result<T, UnitPanic>>> = Vec::new();
         slots.resize_with(n, || None);
         std::thread::scope(|scope| {
-            for _ in 0..workers {
+            for w in 0..workers {
                 let tx = tx.clone();
                 let next = &next;
                 let poisoned = &poisoned;
@@ -118,8 +215,14 @@ impl Pool {
                         break;
                     }
                     let out = catch_unwind(AssertUnwindSafe(|| f(i))).map_err(|payload| {
-                        poisoned.store(true, Ordering::Release);
-                        panic_message(payload.as_ref())
+                        if policy == PoolPolicy::Propagate {
+                            poisoned.store(true, Ordering::Release);
+                        }
+                        UnitPanic {
+                            unit: i,
+                            worker: w,
+                            message: panic_message(payload.as_ref()),
+                        }
                     });
                     if tx.send((i, out)).is_err() {
                         break;
@@ -134,11 +237,16 @@ impl Pool {
         let mut out = Vec::with_capacity(n);
         for (i, slot) in slots.into_iter().enumerate() {
             match slot {
-                Some(Ok(v)) => out.push(v),
+                Some(Ok(v)) => out.push(Ok(v)),
                 // Indices are handed out in order, so the first Err in
-                // index order is the lowest panicking job — and every
-                // skipped (None) slot sits above it.
-                Some(Err(msg)) => panic!("parallel job {i} of {n} panicked: {msg}"),
+                // index order is the lowest panicking job — and, under
+                // Propagate, every skipped (None) slot sits above it.
+                Some(Err(up)) => {
+                    if policy == PoolPolicy::Propagate {
+                        panic!("{}", up.describe(n));
+                    }
+                    out.push(Err(up));
+                }
                 None => unreachable!("job {i} skipped without an earlier panic"),
             }
         }
@@ -218,11 +326,23 @@ where
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    payload
-        .downcast_ref::<&str>()
-        .map(|s| (*s).to_string())
-        .or_else(|| payload.downcast_ref::<String>().cloned())
-        .unwrap_or_else(|| "panic with non-string payload".to_string())
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        return (*s).to_string();
+    }
+    if let Some(s) = payload.downcast_ref::<String>() {
+        return s.clone();
+    }
+    // `std::panic::panic_any` with a primitive payload: recover the
+    // value (and its type, for disambiguation) instead of discarding it.
+    macro_rules! try_primitive {
+        ($($t:ty),*) => {
+            $(if let Some(v) = payload.downcast_ref::<$t>() {
+                return format!("{v} ({})", stringify!($t));
+            })*
+        };
+    }
+    try_primitive!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool, char);
+    "panic with non-string payload".to_string()
 }
 
 #[cfg(test)]
@@ -315,9 +435,70 @@ mod tests {
         });
         let msg = panic_message(result.expect_err("job 6 must fail").as_ref());
         assert!(
-            msg.contains("parallel job 6 of 10 panicked: boom at 6"),
+            msg.contains("parallel job 6 of 10 panicked on worker "),
             "unexpected message: {msg}"
         );
+        assert!(msg.contains(": boom at 6"), "unexpected message: {msg}");
+    }
+
+    #[test]
+    fn inline_propagate_carries_the_same_context() {
+        crate::check::install_quiet_hook();
+        crate::check::QUIET_PANICS.with(|q| q.set(true));
+        let result = catch_unwind(|| {
+            Pool::new(1).run(4, |i| {
+                if i == 2 {
+                    quiet_panic(format!("boom at {i}"));
+                }
+                i
+            })
+        });
+        let msg = panic_message(result.expect_err("job 2 must fail").as_ref());
+        assert!(
+            msg.contains("parallel job 2 of 4 panicked on worker 0: boom at 2"),
+            "unexpected message: {msg}"
+        );
+    }
+
+    #[test]
+    fn quarantine_converts_panics_to_data_in_order() {
+        crate::check::install_quiet_hook();
+        for jobs in [1, 2, 4] {
+            let results = Pool::new(jobs).run_quarantined(10, |i| {
+                if i % 3 == 0 {
+                    quiet_panic(format!("boom {i}"));
+                }
+                i * 2
+            });
+            assert_eq!(results.len(), 10, "jobs {jobs}");
+            for (i, r) in results.iter().enumerate() {
+                if i % 3 == 0 {
+                    let up = r.as_ref().expect_err("unit must be quarantined");
+                    assert_eq!(up.unit, i, "jobs {jobs}");
+                    assert_eq!(up.message, format!("boom {i}"), "jobs {jobs}");
+                    assert!(up.worker < jobs.max(1), "jobs {jobs}: worker {}", up.worker);
+                } else {
+                    // The pool was not poisoned: units after a panic
+                    // still ran.
+                    assert_eq!(*r.as_ref().expect("clean unit"), i * 2, "jobs {jobs}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn primitive_panic_payloads_are_downcast() {
+        crate::check::install_quiet_hook();
+        let results = Pool::new(2).run_quarantined(3, |i| {
+            if i == 1 {
+                crate::check::QUIET_PANICS.with(|q| q.set(true));
+                std::panic::panic_any(42u32);
+            }
+            i
+        });
+        let up = results[1].as_ref().expect_err("unit 1 panicked");
+        assert_eq!(up.message, "42 (u32)");
+        assert_eq!(up.describe(3), format!("parallel job 1 of 3 panicked on worker {}: 42 (u32)", up.worker));
     }
 
     #[test]

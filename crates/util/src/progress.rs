@@ -1,0 +1,110 @@
+//! Line-buffered, mutex-serialized progress output.
+//!
+//! Campaign workers report progress from many threads at once. A bare
+//! `eprintln!` is atomic per call on most platforms, but nothing
+//! guarantees it — the standard stream lock is per-`write` syscall, and
+//! a formatted line can split across several. This module gives every
+//! campaign one shared writer that assembles each line (text plus the
+//! trailing newline) into a single buffer and emits it under a mutex as
+//! one `write_all`, so concurrent workers always produce whole,
+//! parseable lines — the contract resumed and fresh campaign runs rely
+//! on for their per-worker stderr progress.
+//!
+//! # Example
+//!
+//! ```
+//! use ede_util::progress::LineWriter;
+//!
+//! let w = LineWriter::new(Vec::new());
+//! w.line("fuzz: worker 0: 10/20 cases, 0 violations");
+//! let out = w.into_inner();
+//! assert_eq!(out, b"fuzz: worker 0: 10/20 cases, 0 violations\n");
+//! ```
+
+use std::io::Write;
+use std::sync::{Mutex, OnceLock};
+
+/// A shared writer that emits whole lines atomically: each call to
+/// [`line`](LineWriter::line) performs exactly one locked `write_all`
+/// of the text plus a trailing newline, followed by a flush.
+#[derive(Debug)]
+pub struct LineWriter<W: Write> {
+    inner: Mutex<W>,
+}
+
+impl<W: Write> LineWriter<W> {
+    /// Wraps `inner` in a line-atomic writer.
+    pub fn new(inner: W) -> LineWriter<W> {
+        LineWriter {
+            inner: Mutex::new(inner),
+        }
+    }
+
+    /// Writes `text` plus a newline as one atomic (mutex-serialized)
+    /// write. I/O errors are deliberately swallowed: progress output is
+    /// advisory, and a broken stderr pipe must never abort a campaign.
+    pub fn line(&self, text: &str) {
+        let mut buf = Vec::with_capacity(text.len() + 1);
+        buf.extend_from_slice(text.as_bytes());
+        buf.push(b'\n');
+        let mut w = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = w.write_all(&buf);
+        let _ = w.flush();
+    }
+
+    /// Unwraps the underlying writer (tests inspect the captured bytes).
+    pub fn into_inner(self) -> W {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// The process-wide stderr line writer campaign progress goes through.
+/// Routing every worker's progress line here keeps lines whole under
+/// any `--jobs` value.
+pub fn stderr() -> &'static LineWriter<std::io::Stderr> {
+    static STDERR: OnceLock<LineWriter<std::io::Stderr>> = OnceLock::new();
+    STDERR.get_or_init(|| LineWriter::new(std::io::stderr()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_line_gets_a_newline() {
+        let w = LineWriter::new(Vec::new());
+        w.line("hello");
+        assert_eq!(w.into_inner(), b"hello\n");
+    }
+
+    #[test]
+    fn concurrent_lines_never_interleave() {
+        let w = Arc::new(LineWriter::new(Vec::new()));
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let w = Arc::clone(&w);
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        w.line(&format!("worker {t}: step {i} of 50, tail marker"));
+                    }
+                });
+            }
+        });
+        let out = Arc::try_unwrap(w).expect("all threads joined").into_inner();
+        let text = String::from_utf8(out).expect("utf-8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 8 * 50);
+        for line in lines {
+            assert!(
+                line.starts_with("worker ") && line.ends_with(", tail marker"),
+                "torn line: {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn stderr_writer_is_a_singleton() {
+        assert!(std::ptr::eq(stderr(), stderr()));
+    }
+}

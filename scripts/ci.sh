@@ -139,6 +139,41 @@ for cell in "hazard WB" "two_update IQ" "fenced_update B"; do
     diff "$out_dir/ff_fast_chrome.json" "$out_dir/ff_ref_chrome.json"
 done
 
+# Resilient-campaign smoke: interrupt a fuzz run mid-flight with the
+# deterministic --stop-after hook (exit 3, checkpoint flushed), resume
+# it on a different worker count, and require the resumed stdout to be
+# byte-identical to a run that never stopped. Then the panic-quarantine
+# self-test: a deliberately panicking case must be quarantined (exit 2
+# under the default zero budget, exit 0 once budgeted) instead of
+# aborting the campaign. See DESIGN.md "Resilient campaigns".
+echo "==> resilience smoke (interrupt + resume, panic quarantine)"
+cargo run --release --offline -q -p ede-check --bin ede-sim -- \
+    fuzz --seed 5 --cases 60 --jobs 2 2>/dev/null > "$out_dir/resil_clean.out"
+set +e
+cargo run --release --offline -q -p ede-check --bin ede-sim -- \
+    fuzz --seed 5 --cases 60 --jobs 2 \
+    --checkpoint "$out_dir/resil_cp.json" --checkpoint-every 1 --stop-after 15 \
+    2>/dev/null > "$out_dir/resil_int.out"
+rc=$?
+set -e
+[ "$rc" -eq 3 ] || { echo "interrupted run exited $rc, want 3" >&2; exit 1; }
+grep -q 'INTERRUPTED: 15 of 60 case(s) done' "$out_dir/resil_int.out"
+cargo run --release --offline -q -p ede-check --bin ede-sim -- \
+    fuzz --seed 5 --cases 60 --jobs 4 --resume "$out_dir/resil_cp.json" \
+    2>/dev/null > "$out_dir/resil_res.out"
+diff "$out_dir/resil_clean.out" "$out_dir/resil_res.out"
+set +e
+cargo run --release --offline -q -p ede-check --bin ede-sim -- \
+    fuzz --seed 5 --cases 30 --jobs 2 --self-test-panic 7 \
+    2>/dev/null > "$out_dir/resil_q.out"
+rc=$?
+set -e
+[ "$rc" -eq 2 ] || { echo "quarantine self-test exited $rc, want 2" >&2; exit 1; }
+grep -q 'quarantined case 7: deliberate harness panic at case 7' "$out_dir/resil_q.out"
+cargo run --release --offline -q -p ede-check --bin ede-sim -- \
+    fuzz --seed 5 --cases 30 --jobs 2 --self-test-panic 7 --max-quarantined 1 \
+    2>/dev/null > /dev/null
+
 # Zero-overhead guard. The tracer is Option-gated: an untraced core
 # allocates no ring and pushes no events (asserted by unit test
 # `untraced_core_buffers_nothing`, and `tracing_does_not_change_metrics`
