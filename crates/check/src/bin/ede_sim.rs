@@ -13,11 +13,15 @@
 //!                [--max-states N] [--max-events N] [--shrink-iters N]
 //!                [--jobs N] [--progress] [--metrics PATH]
 //!                [--no-fast-forward]
+//! ede-sim corrupt [--seed N] [--cases N] [--arch B,IQ,WB]
+//!                [--kind NAME[:N],NAME,...] [--shrink-iters N]
+//!                [--jobs N] [--progress N] [--metrics PATH]
+//!                [--no-fast-forward]
 //! ede-sim trace  [--litmus NAME] [--arch B] [--metrics PATH]
 //!                [--chrome PATH] [--quiet] [--no-fast-forward]
 //! ede-sim validate-metrics PATH
 //!
-//! fuzz/inject/explore also accept the resilient-runtime flags:
+//! fuzz/inject/explore/corrupt also accept the resilient-runtime flags:
 //!                [--checkpoint PATH] [--checkpoint-every N] [--resume PATH]
 //!                [--max-wall-secs N] [--max-quarantined N] [--stop-after N]
 //!                [--self-test-panic N]
@@ -45,6 +49,16 @@
 //! through undo recovery. `--fault` restricts to statically modelable
 //! ordering faults (`drop-edeps`, `weak-dsb`) and flips the expected
 //! outcome from proof to counterexample.
+//!
+//! `corrupt` runs the at-rest corruption campaign: seeded byte-level
+//! damage (the `--kind` subset of the taxonomy, or all of it) applied
+//! to crash images drawn from simulated undo- and redo-protocol
+//! transaction programs, swept through recovery triage. The campaign
+//! asserts the triage contract on every case — no panic, no silent
+//! wrong image (strong triage claims are checked differentially against
+//! recovery of the undamaged image), every damaged region accounted for
+//! — and prints a per-(kind, arch) triage matrix to stdout as JSON. A
+//! violation is shrunk to a minimal corruption op list and exits 2.
 //!
 //! `trace` runs one named litmus program (default `two_update`; see
 //! `ede_check::litmus`) with the event tracer attached and prints the
@@ -88,6 +102,7 @@
 //! byte-identical with and without it (the differential test suite pins
 //! this); the flag exists to run the reference path directly.
 
+use ede_check::corrupt::{corrupt_campaign, CorruptOptions, CorruptionKind};
 use ede_check::fuzz::{campaign_metrics, fuzz_campaign, FuzzOptions};
 use ede_check::inject::{inject_campaign, InjectOptions};
 use ede_check::litmus;
@@ -114,15 +129,20 @@ fn usage() -> ExitCode {
          [--seed N] [--max-cmds N] [--arch B,IQ,WB] [--fault NAME] \
          [--max-states N] [--max-events N] [--shrink-iters N] [--jobs N] \
          [--progress] [--metrics PATH] [--no-fast-forward]\n\
+         \u{20}      ede-sim corrupt [--seed N] [--cases N] \
+         [--arch B,IQ,WB] [--kind NAME[:N],...] [--shrink-iters N] \
+         [--jobs N] [--progress N] [--metrics PATH] [--no-fast-forward]\n\
          \u{20}      ede-sim trace  [--litmus NAME] [--arch B] \
          [--metrics PATH] [--chrome PATH] [--quiet] [--no-fast-forward]\n\
          \u{20}      ede-sim validate-metrics PATH\n\
-         resilience (fuzz/inject/explore): [--checkpoint PATH] \
+         resilience (fuzz/inject/explore/corrupt): [--checkpoint PATH] \
          [--checkpoint-every N] [--resume PATH] [--max-wall-secs N] \
          [--max-quarantined N] [--stop-after N] [--self-test-panic N]\n\
          faults: {}\n\
+         corruption kinds: {}\n\
          litmus: {}",
         FaultInjection::ALL.map(|f| f.label()).join(", "),
+        CorruptionKind::ALL.map(|k| k.label()).join(", "),
         litmus::NAMES.join(", "),
     );
     ExitCode::from(1)
@@ -426,6 +446,116 @@ fn run_inject(args: &[String]) -> Option<ExitCode> {
     })
 }
 
+fn parse_kinds(spec: &str) -> Option<Vec<CorruptionKind>> {
+    spec.split(',').map(CorruptionKind::parse).collect()
+}
+
+fn run_corrupt(args: &[String]) -> Option<ExitCode> {
+    let mut opts = CorruptOptions::default();
+    let mut metrics_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--no-fast-forward" {
+            opts.fast_forward = false;
+            continue;
+        }
+        let value = it.next()?;
+        let ok = match flag.as_str() {
+            "--metrics" => {
+                metrics_path = Some(value.clone());
+                true
+            }
+            "--seed" => value.parse().map(|v| opts.seed = v).is_ok(),
+            "--cases" => value.parse().map(|v| opts.cases = v).is_ok(),
+            "--shrink-iters" => value.parse().map(|v| opts.max_shrink_iters = v).is_ok(),
+            "--jobs" => value.parse().map(|v| opts.jobs = v).is_ok(),
+            "--progress" => value.parse().map(|v| opts.progress_every = v).is_ok(),
+            "--arch" => match parse_archs(value) {
+                Some(archs) => {
+                    opts.archs = archs;
+                    true
+                }
+                None => false,
+            },
+            "--kind" => match parse_kinds(value) {
+                Some(kinds) => {
+                    opts.kinds = kinds;
+                    true
+                }
+                None => false,
+            },
+            "--self-test-panic" => value.parse().map(|v| opts.self_test_panic = Some(v)).is_ok(),
+            other => parse_runtime_flag(other, value, &mut opts.runtime).unwrap_or(false),
+        };
+        if !ok {
+            return None;
+        }
+    }
+
+    eprintln!(
+        "corrupt: {} kind(s) × {} arch(es) × {} case(s), {} worker(s)",
+        opts.kinds.len(),
+        opts.archs.len(),
+        opts.cases,
+        ede_util::pool::Pool::new(opts.jobs).jobs()
+    );
+    let report = match corrupt_campaign(&opts) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("corrupt: {e}");
+            return Some(ExitCode::from(2));
+        }
+    };
+    if let Some(path) = &metrics_path {
+        write_or_die(path, &format!("{}\n", report.metrics().to_json()));
+        eprintln!("corrupt: campaign metrics written to {path}");
+    }
+    println!("{}", report.to_json());
+    let over_budget = report_quarantined(&report.quarantined, &opts.runtime);
+    Some(if report.contract_holds() {
+        if report.interrupted {
+            println!(
+                "INTERRUPTED: {} of {} cell(s) done",
+                report.cells.len() + report.quarantined.len(),
+                opts.kinds.len() * opts.archs.len(),
+            );
+            resume_hint("corrupt", &opts.runtime);
+            ExitCode::from(3)
+        } else if over_budget {
+            println!(
+                "QUARANTINE BUDGET EXCEEDED: {} harness panic(s), budget {}",
+                report.quarantined.len(),
+                opts.runtime.max_quarantined,
+            );
+            ExitCode::from(2)
+        } else {
+            ExitCode::SUCCESS
+        }
+    } else {
+        if let Some(f) = &report.failure {
+            println!(
+                "TRIAGE CONTRACT VIOLATION: {} on {} at case {} \
+                 (case seed {:#x}): {} (minimal after {} shrink steps)",
+                f.kind.spec(),
+                f.arch,
+                f.case,
+                f.case_seed,
+                f.detail,
+                f.shrink_steps,
+            );
+            println!("corruption ops: {:?}", f.ops);
+            println!(
+                "replay: ede-sim corrupt --seed {:#x} --kind {} --arch {} --cases {}",
+                report.seed,
+                f.kind.spec(),
+                f.arch.label(),
+                f.case + 1,
+            );
+        }
+        ExitCode::from(2)
+    })
+}
+
 fn run_explore(args: &[String]) -> Option<ExitCode> {
     let mut opts = ExploreOptions::default();
     let mut metrics_path: Option<String> = None;
@@ -643,6 +773,7 @@ fn main() -> ExitCode {
         Some("fuzz") => run_fuzz(&args[1..]),
         Some("inject") => run_inject(&args[1..]),
         Some("explore") => run_explore(&args[1..]),
+        Some("corrupt") => run_corrupt(&args[1..]),
         Some("trace") => run_trace(&args[1..]),
         Some("validate-metrics") => run_validate(&args[1..]),
         _ => None,

@@ -36,7 +36,14 @@
 //!   axioms, crash checker, or pipeline watchdog) or provably
 //!   tolerated, emitting a JSON detection-coverage matrix
 //!   (`ede-sim inject`).
-//! * [`resume`] — the resilient campaign runtime shared by the three
+//! * [`corrupt`] — the at-rest corruption campaign: seeded byte-level
+//!   damage (bit flips, torn words, sector tears, truncation,
+//!   duplicated regions, wipes) applied to crash images drawn from
+//!   simulated transaction programs, swept through
+//!   [`ede_nvm::triage`] recovery and held to the triage contract —
+//!   no panic, no silent wrong image, every damaged region accounted
+//!   for (`ede-sim corrupt`).
+//! * [`resume`] — the resilient campaign runtime shared by the
 //!   campaign subcommands: versioned `ede.checkpoint.v1` documents
 //!   flushed atomically at a configurable cadence, fingerprint-checked
 //!   `--resume` with byte-identical final output, per-unit panic
@@ -56,6 +63,7 @@
 #![warn(missing_docs)]
 
 pub mod conform;
+pub mod corrupt;
 pub mod explore;
 pub mod fuzz;
 pub mod gen;
@@ -65,6 +73,10 @@ pub mod litmus;
 pub mod resume;
 
 pub use conform::check_run;
+pub use corrupt::{
+    corrupt, corrupt_campaign, CorruptFailure, CorruptOp, CorruptOptions, CorruptReport,
+    CorruptionKind,
+};
 pub use explore::{
     explore, explore_campaign, ExploreError, ExploreOptions, ExploreReport, Source, Verdict,
 };

@@ -9,7 +9,7 @@
 
 use crate::heap::BumpHeap;
 use crate::layout::Layout;
-use crate::log::{checksum, header_word, OFF_ADDR, OFF_TXID};
+use crate::log::{checksum, header_word, MAGIC, OFF_ADDR, OFF_MAGIC, OFF_TXID};
 use crate::memory::SimMemory;
 use ede_isa::{ArchConfig, Edk, EdkPair, InstId, Program, TraceBuilder, VAddr};
 use std::collections::HashSet;
@@ -98,7 +98,7 @@ impl TxWriter {
     /// A writer over a fresh machine with the given layout and target
     /// configuration.
     pub fn new(layout: Layout, arch: ArchConfig) -> TxWriter {
-        TxWriter {
+        let mut w = TxWriter {
             layout,
             arch,
             mem: SimMemory::new(),
@@ -115,7 +115,16 @@ impl TxWriter {
             init_finished: false,
             silent: false,
             tx_phase_start: None,
+        };
+        // Format the superblock: the magic word on both header lines,
+        // preloaded like a pool file a previous run formatted. Triage
+        // uses it to tell a wiped header from genuinely fresh media.
+        // (The matching `init_writes` entries are appended in `finish`
+        // so the user's first `write_init` stays at index 0.)
+        for line in [layout.log_header, layout.log_header_twin] {
+            w.mem.write(line + OFF_MAGIC, MAGIC);
         }
+        w
     }
 
     /// The configuration code is being generated for.
@@ -403,9 +412,14 @@ impl TxWriter {
     }
 
     /// Commits the open transaction: ensure all data persists completed,
-    /// then persist the transaction id into the log header (which
-    /// invalidates this transaction's undo entries), ordered per the
-    /// configuration.
+    /// then persist the transaction id into the log header — twin line
+    /// first, primary second — which invalidates this transaction's undo
+    /// entries, ordered per the configuration.
+    ///
+    /// The twin-first order is the repair invariant the triage engine
+    /// relies on: at every crash instant the twin marker is at least as
+    /// new as the primary, so a later torn *primary* is exactly
+    /// repairable from the surviving twin (see `log::resolve_marker`).
     ///
     /// # Panics
     ///
@@ -413,11 +427,15 @@ impl TxWriter {
     pub fn commit_tx(&mut self) {
         let txid = self.txid.take().expect("no open transaction");
         let header = self.layout.log_header;
+        let twin = self.layout.log_header_twin;
         // The marker is the self-validating header word, not the bare id:
         // a torn or bit-flipped header then reads as "nothing committed".
         let marker = header_word(txid);
         match self.arch {
             ArchConfig::Baseline => {
+                self.builder.dsb_sy();
+                self.builder.store(twin, marker);
+                self.builder.cvap(twin);
                 self.builder.dsb_sy();
                 self.builder.store(header, marker);
                 self.builder.cvap(header);
@@ -425,14 +443,26 @@ impl TxWriter {
             }
             ArchConfig::StoreBarrierUnsafe => {
                 self.builder.dmb_st();
+                self.builder.store(twin, marker);
+                self.builder.cvap(twin);
+                self.builder.dmb_st();
                 self.builder.store(header, marker);
                 self.builder.cvap(header);
                 self.builder.dmb_st();
             }
             ArchConfig::IssueQueue | ArchConfig::WriteBuffer => {
                 self.builder.wait_all_keys();
+                let tb = self.builder.lea(twin);
+                self.builder.store_to(tb, twin, marker);
+                let kt = self.next_key();
+                self.builder.cvap_to_edk(tb, twin, EdkPair::producer(kt));
+                self.builder.release(tb);
+                // Twin-before-primary is an execution dependence, not a
+                // stall: the primary store consumes the twin persist's
+                // key, the EDE idiom for write ordering.
                 let base = self.builder.lea(header);
-                self.builder.store_to(base, header, marker);
+                self.builder
+                    .store_to_edk(base, header, marker, EdkPair::consumer(kt));
                 let k = self.next_key();
                 self.builder
                     .cvap_to_edk(base, header, EdkPair::producer(k));
@@ -441,10 +471,13 @@ impl TxWriter {
                 self.builder.wait_key(k);
             }
             ArchConfig::Unsafe => {
+                self.builder.store(twin, marker);
+                self.builder.cvap(twin);
                 self.builder.store(header, marker);
                 self.builder.cvap(header);
             }
         }
+        self.mem.write(twin, marker);
         self.mem.write(header, marker);
         // Truncate the undo log, as PMDK does at commit: the next
         // transaction reuses the same (now cache-resident) slots. Entry
@@ -462,12 +495,16 @@ impl TxWriter {
     /// Panics if a transaction is still open.
     pub fn finish(self) -> TxOutput {
         assert!(self.txid.is_none(), "transaction still open");
+        let mut init_writes = self.init_writes;
+        for line in [self.layout.log_header, self.layout.log_header_twin] {
+            init_writes.push((line + OFF_MAGIC, MAGIC));
+        }
         TxOutput {
             program: self.builder.finish(),
             records: self.records,
             memory: self.mem,
             layout: self.layout,
-            init_writes: self.init_writes,
+            init_writes,
             tx_phase_start: self.tx_phase_start,
         }
     }
@@ -500,7 +537,7 @@ mod tests {
     #[test]
     fn baseline_uses_dsbs_no_ede() {
         let p = one_tx_program(ArchConfig::Baseline);
-        assert!(count_kind(&p, InstKind::FenceFull) >= 3); // log + 2×commit
+        assert!(count_kind(&p, InstKind::FenceFull) >= 3); // log + 3×commit
         assert_eq!(count_kind(&p, InstKind::EdeControl), 0);
         assert!(p.iter().all(|(_, i)| !i.is_ede()));
     }
@@ -556,6 +593,41 @@ mod tests {
             crate::log::decode_header(out.memory.read(out.layout.log_header)),
             2
         );
+    }
+
+    #[test]
+    fn superblock_twin_and_magic_are_maintained() {
+        for arch in ArchConfig::ALL {
+            let mut tx = writer(arch);
+            let a = tx.heap_alloc(8, 8);
+            tx.write_init(a, 1);
+            tx.finish_init();
+            tx.begin_tx();
+            tx.write(a, 2);
+            tx.commit_tx();
+            let out = tx.finish();
+            let l = &out.layout;
+            // Both header lines carry the magic, preloaded (no stores).
+            assert_eq!(out.memory.read(l.log_header + OFF_MAGIC), MAGIC);
+            assert_eq!(out.memory.read(l.log_header_twin + OFF_MAGIC), MAGIC);
+            assert!(out.init_writes.contains(&(l.log_header + OFF_MAGIC, MAGIC)));
+            assert!(out.init_writes.contains(&(l.log_header_twin + OFF_MAGIC, MAGIC)));
+            // Commit lands the same marker in both copies, and the twin
+            // store precedes the primary store in program order.
+            assert_eq!(out.memory.read(l.log_header), header_word(1));
+            assert_eq!(out.memory.read(l.log_header_twin), header_word(1));
+            let pos = |addr: u64| {
+                out.program
+                    .iter()
+                    .position(|(_, i)| match i.op {
+                        ede_isa::Op::Str { addr: a, .. } => a == addr,
+                        ede_isa::Op::Stp { addr: a, .. } => a == addr,
+                        _ => false,
+                    })
+                    .expect("marker store present")
+            };
+            assert!(pos(l.log_header_twin) < pos(l.log_header), "{arch:?}: twin first");
+        }
     }
 
     #[test]

@@ -14,11 +14,21 @@
 //! commit persists the shadows, copies the touched leaf tables and the
 //! root block (pointing at the shadows), persists those, and finally
 //! performs the **atomic commit point**: a single 16-byte `STP` of
-//! `(new root block, txid)` to the root line, persisted. A crash
-//! observes either the old tree or the new tree, never a mixture —
-//! *provided* the shadow persists are ordered before the root switch,
+//! `(new root block, packed marker)` to the root line, persisted. A
+//! crash observes either the old tree or the new tree, never a mixture
+//! — *provided* the shadow persists are ordered before the root switch,
 //! which is exactly the ordering undo logging needed per write and CoW
 //! needs once per transaction.
+//!
+//! The marker word is *self-validating* ([`root_word`]): the
+//! transaction id in the low 32 bits and a checksum over `(root ptr,
+//! id)` in the high 32, so a torn or bit-flipped root line fails
+//! validation instead of silently pointing recovery at garbage. A
+//! *twin* root line ([`CowMeta::root_twin`], non-adjacent) receives the
+//! same `STP` strictly *before* the primary each commit, so a torn
+//! primary is exactly repairable from the twin — the same redundancy
+//! scheme the undo/redo log header uses (see DESIGN.md "Recovery
+//! triage").
 //!
 //! Reads pay the two-level indirection (CoW's classic read cost); commit
 //! pays the table copies (why real systems use deep trees).
@@ -41,13 +51,78 @@ const LEAF_FANOUT: u64 = 32;
 /// Words per data block.
 const BLOCK_WORDS: u64 = 8;
 
+fn root_checksum(root: u64, txid: u64) -> u64 {
+    // Salted differently from the undo-log entry checksum so a log word
+    // copied over a root line can never validate by accident; folded so
+    // every bit of the pointer influences the 32-bit checksum.
+    let full = crate::log::checksum(root, 0x434F_5721, txid);
+    (full ^ (full >> 32)) & 0xFFFF_FFFF
+}
+
+/// Packs a committed transaction id into the self-validating root-line
+/// marker word: the id in the low 32 bits, a checksum of `(root ptr,
+/// id)` in the high 32. Tearing between the `STP`'s halves — or any
+/// media bit flip in either half — fails validation.
+///
+/// # Example
+///
+/// ```
+/// use ede_nvm::cow::{decode_root, root_word};
+///
+/// assert_eq!(decode_root(0x500, root_word(0x500, 3)), Some(3));
+/// assert_eq!(decode_root(0x500, 3), None);           // torn: raw id
+/// assert_eq!(decode_root(0x540, root_word(0x500, 3)), None); // ptr torn
+/// assert_eq!(decode_root(0x500, root_word(0x500, 3) ^ 1), None);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `txid` does not fit in 32 bits.
+pub fn root_word(root: u64, txid: u64) -> u64 {
+    assert!(txid <= u64::from(u32::MAX), "transaction ids fit in 32 bits");
+    (root_checksum(root, txid) << 32) | txid
+}
+
+/// Decodes a root-line `(root ptr, marker word)` pair: the committed
+/// transaction id if the marker validates against the pointer, `None`
+/// otherwise. See [`root_word`].
+pub fn decode_root(root: u64, word: u64) -> Option<u64> {
+    let lo = word & 0xFFFF_FFFF;
+    if word >> 32 == root_checksum(root, lo) {
+        Some(lo)
+    } else {
+        None
+    }
+}
+
+/// Resolves `(root ptr, committed txid)` from the primary and twin root
+/// lines, each read as a `(root ptr, marker word)` pair. The validating
+/// copy with the newest transaction id wins; because commit persists
+/// the twin strictly before the primary, a torn primary is healed to
+/// *exactly* the committed state from the twin. If neither copy
+/// validates the raw primary pointer is returned with "nothing
+/// committed" (legacy images carry no marker and no twin).
+pub fn resolve_root(primary: (u64, u64), twin: (u64, u64)) -> (u64, u64) {
+    match (decode_root(primary.0, primary.1), decode_root(twin.0, twin.1)) {
+        (Some(a), Some(b)) if b > a => (twin.0, b),
+        (Some(a), _) => (primary.0, a),
+        (None, Some(b)) => (twin.0, b),
+        (None, None) => (primary.0, 0),
+    }
+}
+
 /// Addressing metadata for a CoW pool (needed to resolve logical
 /// addresses through a crash image).
 #[derive(Clone, Copy, Debug)]
 pub struct CowMeta {
     /// Address of the root line: word 0 = root-block pointer, word 1 =
-    /// committed transaction id (switched together by one `STP`).
+    /// the packed [`root_word`] marker (switched together by one `STP`).
     pub root_line: u64,
+    /// The twin root line: same `(pointer, marker)` pair, written
+    /// *before* the primary each commit so a torn primary is repairable
+    /// from here. Non-adjacent to the primary (the initial tree sits
+    /// between them).
+    pub root_twin: u64,
     /// Number of logical slots (data blocks).
     pub slots: u64,
 }
@@ -112,8 +187,15 @@ impl CowTxWriter {
                 // Data blocks start zeroed: nothing to write.
             }
         }
-        preload(&mut mem, &mut init_writes, root_line, root_block);
-        preload(&mut mem, &mut init_writes, root_line + 8, 0); // txid 0
+        // The twin root line is allocated *after* the initial tree so
+        // the primary and twin are never in the same media sector.
+        let root_twin = heap.alloc(64, 64).expect("heap");
+        for line in [root_line, root_twin] {
+            preload(&mut mem, &mut init_writes, line, root_block);
+            // txid 0, packed: nonzero on media, so a zero-wipe of the
+            // root line is distinguishable from fresh state.
+            preload(&mut mem, &mut init_writes, line + 8, root_word(root_block, 0));
+        }
 
         CowTxWriter {
             layout,
@@ -121,7 +203,7 @@ impl CowTxWriter {
             mem,
             builder: TraceBuilder::new(),
             heap,
-            meta: CowMeta { root_line, slots },
+            meta: CowMeta { root_line, root_twin, slots },
             txid: None,
             next_txid: 1,
             shadows: HashMap::new(),
@@ -245,7 +327,10 @@ impl CowTxWriter {
     }
 
     /// Commits: persist shadows → copy + persist touched tables → atomic
-    /// root switch (one persisted `STP`), ordered per configuration.
+    /// root switch, ordered per configuration. The switch writes the
+    /// packed `(new root, [`root_word`])` pair twice — twin line first,
+    /// persisted, then the primary — so a tear in either single `STP`
+    /// leaves a validating copy behind.
     ///
     /// # Panics
     ///
@@ -311,23 +396,50 @@ impl CowTxWriter {
         // 4. Everything persisted before the switch.
         self.fence_boundary();
 
-        // 5. The atomic commit point: root pointer + txid in one STP.
-        let rbase = self.builder.lea(self.meta.root_line);
-        self.builder
-            .store_pair_to(rbase, self.meta.root_line, [new_root, txid]);
+        // 5. The atomic commit point: root pointer + packed marker in
+        // one STP — twin line first, persisted before the primary, so
+        // the twin is always at least as new as the primary.
+        let marker = root_word(new_root, txid);
         if self.arch.uses_ede() {
+            // Ordering is an execution dependence: the primary STP
+            // consumes the key the twin's writeback produces.
+            let tbase = self.builder.lea(self.meta.root_twin);
+            self.builder
+                .store_pair_to(tbase, self.meta.root_twin, [new_root, marker]);
+            let kt = self.next_key();
+            self.builder
+                .cvap_to_edk(tbase, self.meta.root_twin, EdkPair::producer(kt));
+            self.builder.release(tbase);
+            let rbase = self.builder.lea(self.meta.root_line);
+            self.builder.store_pair_to_edk(
+                rbase,
+                self.meta.root_line,
+                [new_root, marker],
+                EdkPair::consumer(kt),
+            );
             let k = self.next_key();
             self.builder
                 .cvap_to_edk(rbase, self.meta.root_line, EdkPair::producer(k));
             self.builder.release(rbase);
             self.builder.wait_key(k);
         } else {
+            let tbase = self.builder.lea(self.meta.root_twin);
+            self.builder
+                .store_pair_to(tbase, self.meta.root_twin, [new_root, marker]);
+            self.builder.cvap_to(tbase, self.meta.root_twin);
+            self.builder.release(tbase);
+            self.fence_boundary();
+            let rbase = self.builder.lea(self.meta.root_line);
+            self.builder
+                .store_pair_to(rbase, self.meta.root_line, [new_root, marker]);
             self.builder.cvap_to(rbase, self.meta.root_line);
             self.builder.release(rbase);
             self.fence_boundary();
         }
-        self.mem.write(self.meta.root_line, new_root);
-        self.mem.write(self.meta.root_line + 8, txid);
+        for line in [self.meta.root_twin, self.meta.root_line] {
+            self.mem.write(line, new_root);
+            self.mem.write(line + 8, marker);
+        }
     }
 
     fn fence_boundary(&mut self) {
@@ -442,8 +554,16 @@ impl CowChecker {
     /// The first [`CowViolation`] found.
     pub fn check_at(&self, trace: &PersistTrace, cycle: u64) -> Result<u64, CowViolation> {
         let image = nvm_image_at(trace, cycle, 64);
-        let committed = self.read_phys(&image, self.meta.root_line + 8);
-        let root = self.read_phys(&image, self.meta.root_line);
+        let (root, committed) = resolve_root(
+            (
+                self.read_phys(&image, self.meta.root_line),
+                self.read_phys(&image, self.meta.root_line + 8),
+            ),
+            (
+                self.read_phys(&image, self.meta.root_twin),
+                self.read_phys(&image, self.meta.root_twin + 8),
+            ),
+        );
         // Expected logical state after the committed prefix.
         let mut expected: HashMap<u64, u64> = HashMap::new();
         for r in self.records.iter().take(committed as usize) {
@@ -552,7 +672,10 @@ mod tests {
         let leaf = out.memory.read(root);
         let block = out.memory.read(leaf + 3 * 8);
         assert_eq!(out.memory.read(block + 8), 99);
-        assert_eq!(out.memory.read(meta.root_line + 8), 1);
+        assert_eq!(out.memory.read(meta.root_line + 8), root_word(root, 1));
+        // The twin line carries the identical pair.
+        assert_eq!(out.memory.read(meta.root_twin), root);
+        assert_eq!(out.memory.read(meta.root_twin + 8), root_word(root, 1));
     }
 
     #[test]
@@ -623,12 +746,14 @@ mod tests {
         let checker = CowChecker::new(&out, meta);
         use ede_mem::trace::{PersistEvent, StoreEvent};
         let mut trace = PersistTrace::default();
-        // Only the root line's stores persist.
+        // Only the root line's stores persist (a validating pair — the
+        // torn *tree*, not a torn root, is what must be caught).
+        let new_root = out.memory.read(meta.root_line);
         trace.record_store(StoreEvent {
             cycle: 1,
             addr: meta.root_line,
             width: 16,
-            value: [out.memory.read(meta.root_line), 1],
+            value: [new_root, root_word(new_root, 1)],
         });
         trace.record_persist(PersistEvent { cycle: 2, line: meta.root_line });
         let v = checker
@@ -640,14 +765,15 @@ mod tests {
 
     #[test]
     fn fence_counts_per_protocol() {
-        // CoW baseline: two DSB clusters per commit, none per write.
+        // CoW baseline: three DSB clusters per commit (pre-switch, twin
+        // marker, primary marker), none per write.
         let (out, _) = cow_update_kernel(ArchConfig::Baseline, 30, 10, 32, 11);
         let dsb = out
             .program
             .iter()
             .filter(|(_, i)| i.kind() == ede_isa::InstKind::FenceFull)
             .count();
-        assert_eq!(dsb, 3 * 2, "two fences per transaction");
+        assert_eq!(dsb, 3 * 3, "three fences per transaction");
         let (ede, _) = cow_update_kernel(ArchConfig::WriteBuffer, 30, 10, 32, 11);
         let dsb_ede = ede
             .program
@@ -655,6 +781,86 @@ mod tests {
             .filter(|(_, i)| i.kind() == ede_isa::InstKind::FenceFull)
             .count();
         assert_eq!(dsb_ede, 0);
+    }
+
+    #[test]
+    fn twin_root_is_written_before_primary() {
+        for arch in ArchConfig::ALL {
+            let mut tx = CowTxWriter::new(Layout::standard(), arch, 8);
+            let meta = tx.meta();
+            tx.finish_init();
+            tx.begin_tx();
+            tx.write(0, 0, 7);
+            tx.commit_tx();
+            let (out, _) = tx.finish();
+            let pos = |line: u64| {
+                out.program
+                    .iter()
+                    .position(|(_, i)| matches!(i.op, ede_isa::Op::Stp { addr, .. } if addr == line))
+                    .unwrap_or_else(|| panic!("{arch:?}: no STP to {line:#x}"))
+            };
+            assert!(
+                pos(meta.root_twin) < pos(meta.root_line),
+                "{arch:?}: twin switch must precede the primary switch"
+            );
+        }
+    }
+
+    #[test]
+    fn root_word_round_trips_and_rejects_tears() {
+        assert_eq!(decode_root(0x9000, root_word(0x9000, 7)), Some(7));
+        assert_eq!(decode_root(0x9000, 7), None, "raw id half");
+        assert_eq!(decode_root(0x9040, root_word(0x9000, 7)), None, "torn ptr");
+        assert_eq!(decode_root(0, 0), None, "zero-wiped line never validates");
+    }
+
+    #[test]
+    fn resolve_root_heals_torn_primary_from_twin() {
+        let (old, new) = (0x9000u64, 0x9400u64);
+        let twin = (new, root_word(new, 4));
+        // Primary tore mid-STP: new pointer, stale marker half.
+        assert_eq!(resolve_root((new, root_word(old, 3)), twin), (new, 4));
+        // Primary not yet switched: twin (persisted first) is newer.
+        assert_eq!(resolve_root((old, root_word(old, 3)), twin), (new, 4));
+        // Legacy image: no marker, no twin — raw primary pointer, txid 0.
+        assert_eq!(resolve_root((old, 0), (0, 0)), (old, 0));
+    }
+
+    #[test]
+    fn checker_heals_torn_primary_root_from_twin() {
+        let mut tx = CowTxWriter::new(Layout::standard(), ArchConfig::Baseline, 8);
+        tx.finish_init();
+        tx.begin_tx();
+        tx.write(0, 0, 42);
+        tx.commit_tx();
+        let (out, meta) = tx.finish();
+        let checker = CowChecker::new(&out, meta);
+        use ede_mem::trace::{PersistEvent, StoreEvent};
+        let mut trace = PersistTrace::default();
+        let mut cycle = 1;
+        for (&a, &v) in out.memory.iter() {
+            trace.record_store(StoreEvent { cycle, addr: a, width: 8, value: [v, 0] });
+            cycle += 1;
+        }
+        // Tear the primary marker: its checksum half never landed.
+        let new_root = out.memory.read(meta.root_line);
+        trace.record_store(StoreEvent {
+            cycle,
+            addr: meta.root_line,
+            width: 16,
+            value: [new_root, 1],
+        });
+        cycle += 1;
+        let lines: std::collections::BTreeSet<u64> =
+            out.memory.iter().map(|(&a, _)| a & !63).collect();
+        for line in lines {
+            trace.record_persist(PersistEvent { cycle, line });
+            cycle += 1;
+        }
+        let committed = checker
+            .check_at(&trace, cycle)
+            .unwrap_or_else(|v| panic!("twin must heal the torn primary: {v}"));
+        assert_eq!(committed, 1);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 use crate::codegen::{TxOutput, TxRecord};
 use crate::layout::Layout;
+use crate::log::{classify_marker, MarkerCopy};
 use crate::recovery::{recover, NvmImage};
 use ede_mem::trace::nvm_image_at;
 use ede_mem::PersistTrace;
@@ -43,6 +44,55 @@ impl fmt::Display for ConsistencyError {
 }
 
 impl std::error::Error for ConsistencyError {}
+
+/// Why a crash image failed the check — the same taxonomy split the
+/// recovery triage engine reports ([`crate::triage::RecoveryOutcome`]),
+/// so the fault-injection and corruption campaigns diagnose header
+/// destruction identically instead of collapsing it into a bare
+/// pass/fail.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CheckFailure {
+    /// Recovery ran but the recovered state contradicts the committed
+    /// prefix of transactions.
+    Inconsistent(ConsistencyError),
+    /// The image's commit marker is unparseable on *both* header lines:
+    /// recovery has no trustworthy committed id to recover toward, so
+    /// no consistency claim is possible either way.
+    Unrecoverable {
+        /// What made the header unparseable.
+        diagnosis: String,
+    },
+}
+
+impl CheckFailure {
+    /// The consistency violation, when recovery got far enough to find
+    /// one.
+    pub fn inconsistency(&self) -> Option<&ConsistencyError> {
+        match self {
+            CheckFailure::Inconsistent(e) => Some(e),
+            CheckFailure::Unrecoverable { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for CheckFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckFailure::Inconsistent(e) => e.fmt(f),
+            CheckFailure::Unrecoverable { diagnosis } => {
+                write!(f, "unrecoverable image: {diagnosis}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckFailure {}
+
+impl From<ConsistencyError> for CheckFailure {
+    fn from(e: ConsistencyError) -> CheckFailure {
+        CheckFailure::Inconsistent(e)
+    }
+}
 
 /// A recovery procedure over a crash image (undo rollback by default;
 /// the redo module provides its replay counterpart).
@@ -119,8 +169,8 @@ impl CrashChecker {
     ///
     /// # Errors
     ///
-    /// The first [`ConsistencyError`] found.
-    pub fn check_at(&self, trace: &PersistTrace, cycle: u64) -> Result<u64, ConsistencyError> {
+    /// The first [`CheckFailure`] found.
+    pub fn check_at(&self, trace: &PersistTrace, cycle: u64) -> Result<u64, CheckFailure> {
         self.check_at_mutated(trace, cycle, &|_| {})
     }
 
@@ -133,13 +183,13 @@ impl CrashChecker {
     ///
     /// # Errors
     ///
-    /// The first [`ConsistencyError`] found.
+    /// The first [`CheckFailure`] found.
     pub fn check_at_mutated(
         &self,
         trace: &PersistTrace,
         cycle: u64,
         mutate: &dyn Fn(&mut NvmImage),
-    ) -> Result<u64, ConsistencyError> {
+    ) -> Result<u64, CheckFailure> {
         let mut image: NvmImage = nvm_image_at(trace, cycle, 64);
         mutate(&mut image);
         self.check_image(image)
@@ -153,8 +203,28 @@ impl CrashChecker {
     ///
     /// # Errors
     ///
-    /// The first [`ConsistencyError`] found.
-    pub fn check_image(&self, mut image: NvmImage) -> Result<u64, ConsistencyError> {
+    /// The first [`CheckFailure`] found: [`CheckFailure::Unrecoverable`]
+    /// when both commit-marker copies are present but fail validation
+    /// (at-rest corruption destroyed the header beyond what the twin
+    /// can repair), otherwise the first
+    /// [`CheckFailure::Inconsistent`] violation.
+    pub fn check_image(&self, mut image: NvmImage) -> Result<u64, CheckFailure> {
+        // The at-rest media holds the preloaded pool contents wherever
+        // the run never persisted; merge them so recovery and header
+        // classification see what a real device would.
+        for (&a, &v) in &self.initial {
+            image.entry(a).or_insert(v);
+        }
+        let rd = |a: u64| image.get(&a).copied().unwrap_or(0);
+        if classify_marker(rd(self.layout.log_header)) == MarkerCopy::Corrupt
+            && classify_marker(rd(self.layout.log_header_twin)) == MarkerCopy::Corrupt
+        {
+            return Err(CheckFailure::Unrecoverable {
+                diagnosis: "both commit-marker copies fail validation — \
+                            no committed id to recover toward"
+                    .into(),
+            });
+        }
         let result = (self.recovery)(&mut image, &self.layout);
         let k = result.committed_txid.min(self.records.len() as u64);
         let expected = self.expected_after(k);
@@ -173,7 +243,8 @@ impl CrashChecker {
                     expected: want,
                     found: got,
                     committed_txid: result.committed_txid,
-                });
+                }
+                .into());
             }
         }
         Ok(result.committed_txid)
@@ -192,7 +263,7 @@ impl CrashChecker {
     /// # Errors
     ///
     /// The first violating `(cycle, error)` pair, in cycle order.
-    pub fn check_all_images(&self, trace: &PersistTrace) -> Result<(), (u64, ConsistencyError)> {
+    pub fn check_all_images(&self, trace: &PersistTrace) -> Result<(), (u64, CheckFailure)> {
         self.check_all_images_mutated(trace, &|_, _| {})
     }
 
@@ -207,7 +278,7 @@ impl CrashChecker {
         &self,
         trace: &PersistTrace,
         mutate: &(dyn Fn(u64, &mut NvmImage) + Sync),
-    ) -> Result<(), (u64, ConsistencyError)> {
+    ) -> Result<(), (u64, CheckFailure)> {
         let cycles = trace.persist_cycles();
         ede_util::pool::par_map_indexed(self.jobs, &cycles, |_, &c| {
             self.check_at_mutated(trace, c, &|image| mutate(c, image))
@@ -223,7 +294,7 @@ impl CrashChecker {
         &self,
         trace: &PersistTrace,
         cycles: impl IntoIterator<Item = u64>,
-    ) -> Vec<(u64, ConsistencyError)> {
+    ) -> Vec<(u64, CheckFailure)> {
         cycles
             .into_iter()
             .filter_map(|c| self.check_at(trace, c).err().map(|e| (c, e)))
@@ -242,7 +313,7 @@ pub fn check_crash_consistency(
     trace: &PersistTrace,
     from: u64,
     samples: u64,
-) -> Result<(), (u64, ConsistencyError)> {
+) -> Result<(), (u64, CheckFailure)> {
     let checker = CrashChecker::new(out);
     let horizon = trace.horizon().max(from + 1);
     let step = ((horizon - from) / samples.max(1)).max(1);
@@ -337,9 +408,10 @@ mod tests {
         let err = checker
             .check_at(&trace, trace.horizon())
             .expect_err("must detect the torn state");
-        assert_eq!(err.addr, a);
-        assert_eq!(err.expected, 5);
-        assert_eq!(err.found, 6);
+        let e = err.inconsistency().expect("a consistency violation");
+        assert_eq!(e.addr, a);
+        assert_eq!(e.expected, 5);
+        assert_eq!(e.found, 6);
     }
 
     #[test]
@@ -354,9 +426,10 @@ mod tests {
         ]);
         let checker = CrashChecker::new(&out);
         let err = checker.check_at(&trace, trace.horizon()).unwrap_err();
-        assert_eq!(err.addr, a);
-        assert_eq!(err.expected, 6); // committed ⇒ new value required
-        assert_eq!(err.found, 5);
+        let e = err.inconsistency().expect("a consistency violation");
+        assert_eq!(e.addr, a);
+        assert_eq!(e.expected, 6); // committed ⇒ new value required
+        assert_eq!(e.found, 5);
     }
 
     #[test]
@@ -404,7 +477,46 @@ mod tests {
                 }
             })
             .expect_err("corrupted data word must surface");
-        assert_eq!(err.1.addr, a);
+        assert_eq!(err.1.inconsistency().expect("a violation").addr, a);
+    }
+
+    #[test]
+    fn destroyed_header_pair_is_typed_unrecoverable() {
+        use crate::log::header_word;
+        let (out, a) = simple_output();
+        let layout = out.layout;
+        // Both marker copies present but failing validation: at-rest
+        // corruption beyond what the twin can repair.
+        let trace = synthetic_trace(&[
+            (a, 5, true),
+            (layout.log_header, header_word(1) ^ (1 << 40), true),
+            (layout.log_header_twin, header_word(1) ^ (1 << 41), true),
+        ]);
+        let checker = CrashChecker::new(&out);
+        let err = checker.check_at(&trace, trace.horizon()).unwrap_err();
+        assert!(
+            matches!(err, CheckFailure::Unrecoverable { .. }),
+            "expected a typed diagnosis, got {err:?}"
+        );
+        assert!(err.inconsistency().is_none());
+        assert!(err.to_string().contains("unrecoverable"));
+    }
+
+    #[test]
+    fn legacy_single_copy_torn_header_is_not_unrecoverable() {
+        use crate::log::header_word;
+        let (out, a) = simple_output();
+        let layout = out.layout;
+        // Only the primary marker tore and the twin line was never
+        // written (reads fresh): the classic single-copy crash state
+        // stays an ordinary "nothing committed" rollback, not a typed
+        // refusal.
+        let trace = synthetic_trace(&[
+            (a, 5, true),
+            (layout.log_header, header_word(1) ^ 1, true),
+        ]);
+        let checker = CrashChecker::new(&out);
+        assert_eq!(checker.check_at(&trace, trace.horizon()), Ok(0));
     }
 
     #[test]

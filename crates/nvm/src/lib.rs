@@ -20,7 +20,11 @@
 //! * [`crash`] replays a simulation's persist trace to an arbitrary crash
 //!   instant, runs recovery, and checks failure atomicity against the
 //!   transaction record — the test that separates the crash-safe
-//!   configurations (B, IQ, WB) from the unsafe ones (SU, U).
+//!   configurations (B, IQ, WB) from the unsafe ones (SU, U);
+//! * [`triage`] hardens recovery against *at-rest corruption*: a scrub
+//!   pass classifies every image region, torn superblocks are repaired
+//!   from their twin line, and all three protocols report through one
+//!   [`RecoveryOutcome`](triage::RecoveryOutcome) taxonomy.
 //!
 //! # Example
 //!
@@ -56,9 +60,11 @@ pub mod log;
 pub mod memory;
 pub mod recovery;
 pub mod redo;
+pub mod triage;
 
 pub use codegen::{TxOutput, TxRecord, TxWriter};
-pub use crash::{check_crash_consistency, ConsistencyError, CrashChecker};
+pub use crash::{check_crash_consistency, CheckFailure, ConsistencyError, CrashChecker};
+pub use triage::{RecoveryOutcome, RegionClass, RegionReport, TriageReport};
 pub use heap::BumpHeap;
 pub use layout::Layout;
 pub use memory::SimMemory;

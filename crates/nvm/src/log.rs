@@ -20,6 +20,14 @@
 //! checksum of it the high 32, so a torn header write or a media bit
 //! flip reads back as "nothing committed" instead of a bogus id that
 //! would silently skip rollbacks.
+//!
+//! The header line exists twice on media (`Layout::log_header` and
+//! `Layout::log_header_twin`); commit writes the twin *first*, so the
+//! twin is always at least as new as the primary and a torn primary is
+//! exactly repairable from it ([`resolve_marker`]). Each header line
+//! also carries a [`MAGIC`] word at [`OFF_MAGIC`], written once at
+//! format time, which distinguishes a wiped-to-zero header from
+//! genuinely fresh media.
 
 /// Byte offset of the target-address field.
 pub const OFF_ADDR: u64 = 0;
@@ -29,6 +37,19 @@ pub const OFF_OLD: u64 = 8;
 pub const OFF_TXID: u64 = 16;
 /// Byte offset of the checksum field.
 pub const OFF_CSUM: u64 = 24;
+
+/// Byte offset, within each header (superblock) line, of the magic word.
+///
+/// Word 0 is the committed marker and word 1 the redo applied marker, so
+/// the magic takes word 2 — present in both the primary and twin lines.
+pub const OFF_MAGIC: u64 = 16;
+
+/// The superblock magic value (`b"EDE_NVM!"` read big-endian), written
+/// to [`OFF_MAGIC`] of both header lines when an image is formatted.
+/// Triage requires it: an image where *neither* header line carries the
+/// magic is not an EDE image at all (or was wiped to nothing) and is
+/// diagnosed `Unrecoverable` rather than silently treated as empty.
+pub const MAGIC: u64 = 0x4544_455F_4E56_4D21;
 
 /// A decoded undo-log entry.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -104,6 +125,69 @@ pub fn decode_header(word: u64) -> u64 {
         lo
     } else {
         0
+    }
+}
+
+/// How one on-media copy of a superblock marker word reads back.
+///
+/// `decode_header` collapses `Fresh` and `Corrupt` into "nothing
+/// committed"; triage keeps them apart because the difference carries
+/// information: a corrupt copy means the media was damaged *here*,
+/// while a fresh copy is an ordinary pre-commit state.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MarkerCopy {
+    /// Raw zero — fresh media, nothing ever written.
+    Fresh,
+    /// A validating [`header_word`] carrying this transaction id.
+    Valid(u64),
+    /// Nonzero but failing validation: a torn write or media damage.
+    Corrupt,
+}
+
+/// Classifies one marker-word copy. See [`MarkerCopy`].
+pub fn classify_marker(word: u64) -> MarkerCopy {
+    if word == 0 {
+        return MarkerCopy::Fresh;
+    }
+    let lo = word & 0xFFFF_FFFF;
+    if word >> 32 == header_checksum(lo) {
+        MarkerCopy::Valid(lo)
+    } else {
+        MarkerCopy::Corrupt
+    }
+}
+
+/// Resolves the committed transaction id from the primary and twin
+/// copies of a marker word: the newest validating copy wins, a corrupt
+/// copy is ignored, and a raw-zero copy counts as "nothing committed".
+///
+/// Because commit persists the twin strictly before the primary, the
+/// twin is always at least as new on an uncorrupted image — so when the
+/// primary is torn, the surviving twin holds *exactly* the committed
+/// id, not merely a lower bound. Images without a twin line (all words
+/// absent, i.e. zero) resolve identically to `decode_header(primary)`.
+///
+/// # Example
+///
+/// ```
+/// use ede_nvm::log::{header_word, resolve_marker};
+///
+/// assert_eq!(resolve_marker(header_word(3), header_word(3)), 3);
+/// assert_eq!(resolve_marker(0xDEAD, header_word(4)), 4); // torn primary
+/// assert_eq!(resolve_marker(header_word(2), 0), 2);      // legacy image
+/// assert_eq!(resolve_marker(0xDEAD, 0xBEEF), 0);         // both lost
+/// ```
+pub fn resolve_marker(primary: u64, twin: u64) -> u64 {
+    let committed = |word| match classify_marker(word) {
+        MarkerCopy::Fresh => Some(0),
+        MarkerCopy::Valid(id) => Some(id),
+        MarkerCopy::Corrupt => None,
+    };
+    match (committed(primary), committed(twin)) {
+        (Some(a), Some(b)) => a.max(b),
+        (Some(a), None) => a,
+        (None, Some(b)) => b,
+        (None, None) => 0,
     }
 }
 
@@ -196,6 +280,39 @@ mod tests {
         for bit in 0..64 {
             assert_eq!(decode_header(w ^ (1 << bit)), 0, "bit {bit}");
         }
+    }
+
+    #[test]
+    fn marker_classification_keeps_fresh_and_corrupt_apart() {
+        assert_eq!(classify_marker(0), MarkerCopy::Fresh);
+        assert_eq!(classify_marker(header_word(9)), MarkerCopy::Valid(9));
+        // header_word(0) is a *written* zero commit, not fresh media.
+        assert_eq!(classify_marker(header_word(0)), MarkerCopy::Valid(0));
+        assert_eq!(classify_marker(0xDEAD_BEEF), MarkerCopy::Corrupt);
+        assert_eq!(classify_marker(header_word(9) ^ 2), MarkerCopy::Corrupt);
+    }
+
+    #[test]
+    fn resolve_marker_prefers_the_newest_valid_copy() {
+        // Twin-first commit means twin >= primary mid-commit.
+        assert_eq!(resolve_marker(header_word(3), header_word(4)), 4);
+        assert_eq!(resolve_marker(header_word(4), header_word(4)), 4);
+        // Torn copies fall back to the survivor in either position.
+        assert_eq!(resolve_marker(0x1234, header_word(7)), 7);
+        assert_eq!(resolve_marker(header_word(7), 0x1234), 7);
+        // Fresh copies are a plain zero commit, not corruption.
+        assert_eq!(resolve_marker(0, header_word(2)), 2);
+        assert_eq!(resolve_marker(header_word(2), 0), 2);
+        assert_eq!(resolve_marker(0, 0), 0);
+        // Both copies lost: nothing provably committed.
+        assert_eq!(resolve_marker(0x1234, 0x5678), 0);
+    }
+
+    #[test]
+    fn magic_is_not_a_valid_marker_or_entry() {
+        // The magic constant must never masquerade as a committed id.
+        assert_eq!(classify_marker(MAGIC), MarkerCopy::Corrupt);
+        assert_eq!(decode_header(MAGIC), 0);
     }
 
     #[test]

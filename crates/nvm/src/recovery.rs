@@ -1,7 +1,7 @@
 //! Undo-log recovery.
 
 use crate::layout::Layout;
-use crate::log::{decode_entry, decode_header, LogEntry};
+use crate::log::{decode_entry, resolve_marker, LogEntry};
 use std::collections::HashMap;
 
 /// A reconstructed NVM image: 8-byte word address → value; absent words
@@ -25,9 +25,13 @@ pub struct RecoveryResult {
 /// uncommitted transaction and its (also uncommitted) successor both
 /// touched an address, the address ends at its oldest pre-image.
 ///
-/// The header is read through [`decode_header`]: a torn or bit-flipped
-/// header word counts as "nothing committed", so every decodable entry
-/// is rolled back rather than trusting a corrupt id.
+/// The committed id is resolved from *both* header copies through
+/// [`resolve_marker`]: the newest validating copy wins, so a torn or
+/// bit-flipped primary is healed from the twin, and an image where both
+/// copies are lost counts as "nothing committed" — every decodable
+/// entry is rolled back rather than trusting a corrupt id. Legacy
+/// images without a twin line behave exactly as before (an absent twin
+/// reads as zero).
 ///
 /// # Example
 ///
@@ -54,7 +58,8 @@ pub struct RecoveryResult {
 /// assert_eq!(image[&addr], 7);
 /// ```
 pub fn recover(image: &mut NvmImage, layout: &Layout) -> RecoveryResult {
-    let committed = decode_header(image.get(&layout.log_header).copied().unwrap_or(0));
+    let rd = |a: u64| image.get(&a).copied().unwrap_or(0);
+    let committed = resolve_marker(rd(layout.log_header), rd(layout.log_header_twin));
     let mut entries: Vec<LogEntry> = (0..layout.log_slots)
         .filter_map(|i| {
             decode_entry(layout.slot_addr(i), |w| {
@@ -87,11 +92,12 @@ pub fn recover(image: &mut NvmImage, layout: &Layout) -> RecoveryResult {
 pub fn recovery_trace(image: &NvmImage, layout: &Layout) -> ede_isa::Program {
     use ede_isa::TraceBuilder;
     let rd = |a: u64| image.get(&a).copied().unwrap_or(0);
-    let committed = decode_header(rd(layout.log_header));
+    let committed = resolve_marker(rd(layout.log_header), rd(layout.log_header_twin));
     let mut b = TraceBuilder::new();
-    // Load the raw header word and validate it (decode_header).
+    // Load both marker copies and resolve them (resolve_marker).
     b.load(layout.log_header, rd(layout.log_header));
-    b.compute_chain(2);
+    b.load(layout.log_header_twin, rd(layout.log_header_twin));
+    b.compute_chain(3);
     let mut entries: Vec<crate::log::LogEntry> = Vec::new();
     for i in 0..layout.log_slots {
         let slot = layout.slot_addr(i);
@@ -236,6 +242,23 @@ mod tests {
         assert_eq!(r.committed_txid, 0);
         assert_eq!(r.rolled_back, 1);
         assert_eq!(image[&layout.heap_base], 7);
+    }
+
+    #[test]
+    fn torn_primary_header_is_healed_from_the_twin() {
+        // The primary commit marker took a media bit flip, but the twin
+        // (persisted first, so at least as new) survived: recovery must
+        // see the commit and leave the committed write in place.
+        let layout = Layout::standard();
+        let mut image = NvmImage::new();
+        image.insert(layout.log_header, header_word(5) ^ (1 << 40));
+        image.insert(layout.log_header_twin, header_word(5));
+        put_entry(&mut image, &layout, 0, layout.heap_base, 7, 5);
+        image.insert(layout.heap_base, 99);
+        let r = recover(&mut image, &layout);
+        assert_eq!(r.committed_txid, 5);
+        assert_eq!(r.rolled_back, 0);
+        assert_eq!(image[&layout.heap_base], 99);
     }
 
     #[test]

@@ -29,7 +29,9 @@
 use crate::codegen::{TxOutput, TxRecord};
 use crate::heap::BumpHeap;
 use crate::layout::Layout;
-use crate::log::{checksum, decode_entry, OFF_ADDR, OFF_TXID};
+use crate::log::{
+    checksum, decode_entry, header_word, resolve_marker, MAGIC, OFF_ADDR, OFF_MAGIC, OFF_TXID,
+};
 use crate::memory::SimMemory;
 use crate::recovery::{NvmImage, RecoveryResult};
 use ede_isa::{ArchConfig, Edk, EdkPair, TraceBuilder, VAddr};
@@ -41,18 +43,24 @@ pub const OFF_APPLIED: u64 = 8;
 
 /// Redo-log recovery: replay committed-but-unapplied transactions.
 ///
+/// Both the *committed* and *applied* markers are self-validating
+/// [`header_word`]s, stored twice (primary header line and twin), and
+/// resolved through [`resolve_marker`] — a torn copy of either marker
+/// is healed from its twin instead of silently skipping (or replaying)
+/// transactions.
+///
 /// # Example
 ///
 /// ```
 /// use ede_nvm::layout::Layout;
-/// use ede_nvm::log::{checksum, OFF_ADDR, OFF_OLD, OFF_TXID, OFF_CSUM};
+/// use ede_nvm::log::{checksum, header_word, OFF_ADDR, OFF_OLD, OFF_TXID, OFF_CSUM};
 /// use ede_nvm::recovery::NvmImage;
 /// use ede_nvm::redo::{recover_redo, OFF_APPLIED};
 ///
 /// let layout = Layout::standard();
 /// let mut image = NvmImage::new();
 /// // Tx 1 committed but not applied; its redo entry carries the NEW value.
-/// image.insert(layout.log_header, 1);
+/// image.insert(layout.log_header, header_word(1));
 /// let slot = layout.slot_addr(0);
 /// let (addr, new) = (layout.heap_base, 42u64);
 /// image.insert(slot + OFF_ADDR, addr);
@@ -66,11 +74,12 @@ pub const OFF_APPLIED: u64 = 8;
 /// # let _ = OFF_APPLIED;
 /// ```
 pub fn recover_redo(image: &mut NvmImage, layout: &Layout) -> RecoveryResult {
-    let committed = image.get(&layout.log_header).copied().unwrap_or(0);
-    let applied = image
-        .get(&(layout.log_header + OFF_APPLIED))
-        .copied()
-        .unwrap_or(0);
+    let rd = |a: u64| image.get(&a).copied().unwrap_or(0);
+    let committed = resolve_marker(rd(layout.log_header), rd(layout.log_header_twin));
+    let applied = resolve_marker(
+        rd(layout.log_header + OFF_APPLIED),
+        rd(layout.log_header_twin + OFF_APPLIED),
+    );
     let mut entries: Vec<crate::log::LogEntry> = (0..layout.log_slots)
         .filter_map(|i| {
             decode_entry(layout.slot_addr(i), |w| {
@@ -118,7 +127,7 @@ pub struct RedoTxWriter {
 impl RedoTxWriter {
     /// A writer over a fresh machine.
     pub fn new(layout: Layout, arch: ArchConfig) -> RedoTxWriter {
-        RedoTxWriter {
+        let mut w = RedoTxWriter {
             layout,
             arch,
             mem: SimMemory::new(),
@@ -133,7 +142,14 @@ impl RedoTxWriter {
             records: Vec::new(),
             init_writes: Vec::new(),
             init_finished: false,
+        };
+        // Format the superblock (magic on both header lines), exactly as
+        // the undo writer does — see `TxWriter::new`. The `init_writes`
+        // entries are appended in `finish` so user writes stay first.
+        for line in [layout.log_header, layout.log_header_twin] {
+            w.mem.write(line + OFF_MAGIC, MAGIC);
         }
+        w
     }
 
     fn next_key(&mut self) -> Edk {
@@ -260,17 +276,15 @@ impl RedoTxWriter {
     /// Panics if no transaction is open.
     pub fn commit_tx(&mut self) {
         let txid = self.txid.take().expect("no open transaction");
-        let header = self.layout.log_header;
+        let marker = header_word(txid);
 
         // Boundary 1: all entries persisted before the committed marker.
         self.fence_boundary();
-        self.builder.store(header, txid);
-        self.emit_persist(header);
+        self.emit_marker_pair(0, marker);
         // Boundary 2: marker persisted before the in-place writes may
         // persist (otherwise a crash could leave applied data with no
         // replayable log and no marker — torn for *older* values).
         self.fence_boundary();
-        self.mem.write(header, txid);
 
         // Apply the write set in place and persist it.
         let order = std::mem::take(&mut self.write_order);
@@ -289,15 +303,45 @@ impl RedoTxWriter {
         }
         // Boundary 3: applied marker only after all in-place persists.
         self.fence_boundary();
-        self.builder.store(header + OFF_APPLIED, txid);
-        self.emit_persist(header + OFF_APPLIED);
+        self.emit_marker_pair(OFF_APPLIED, marker);
         self.fence_boundary();
-        self.mem.write(header + OFF_APPLIED, txid);
 
         // Truncate: slots reusable once applied.
         self.log_tail = 0;
         self.builder.store(self.layout.log_tail_ptr, 0);
         self.write_set.clear();
+    }
+
+    /// Persists one marker word to both header lines, twin first — the
+    /// repair invariant (`log::resolve_marker`): at every crash instant
+    /// the twin copy is at least as new as the primary. Under EDE the
+    /// twin-before-primary order is an execution dependence (the primary
+    /// store consumes the twin persist's key); elsewhere it is one extra
+    /// fence between the two persists.
+    fn emit_marker_pair(&mut self, word_off: u64, marker: u64) {
+        let primary = self.layout.log_header + word_off;
+        let twin = self.layout.log_header_twin + word_off;
+        if self.arch.uses_ede() {
+            let tb = self.builder.lea(twin);
+            self.builder.store_to(tb, twin, marker);
+            let kt = self.next_key();
+            self.builder.cvap_to_edk(tb, twin, EdkPair::producer(kt));
+            self.builder.release(tb);
+            let pb = self.builder.lea(primary);
+            self.builder
+                .store_to_edk(pb, primary, marker, EdkPair::consumer(kt));
+            let k = self.next_key();
+            self.builder.cvap_to_edk(pb, primary, EdkPair::producer(k));
+            self.builder.release(pb);
+        } else {
+            self.builder.store(twin, marker);
+            self.emit_persist(twin);
+            self.fence_boundary();
+            self.builder.store(primary, marker);
+            self.emit_persist(primary);
+        }
+        self.mem.write(twin, marker);
+        self.mem.write(primary, marker);
     }
 
     fn fence_boundary(&mut self) {
@@ -333,12 +377,16 @@ impl RedoTxWriter {
     /// Panics with an open transaction.
     pub fn finish(self) -> TxOutput {
         assert!(self.txid.is_none(), "transaction still open");
+        let mut init_writes = self.init_writes;
+        for line in [self.layout.log_header, self.layout.log_header_twin] {
+            init_writes.push((line + OFF_MAGIC, MAGIC));
+        }
         TxOutput {
             program: self.builder.finish(),
             records: self.records,
             memory: self.mem,
             layout: self.layout,
-            init_writes: self.init_writes,
+            init_writes,
             tx_phase_start: None,
         }
     }
@@ -411,8 +459,9 @@ mod tests {
     #[test]
     fn baseline_fences_per_transaction_not_per_write() {
         let p = one_tx(ArchConfig::Baseline).program;
-        // Four boundaries per commit, none per write.
-        assert_eq!(count(&p, InstKind::FenceFull), 4);
+        // Four boundaries per commit plus one twin-before-primary fence
+        // inside each of the two marker pairs — none per write.
+        assert_eq!(count(&p, InstKind::FenceFull), 6);
     }
 
     #[test]
@@ -454,8 +503,8 @@ mod tests {
         let layout = Layout::standard();
         let mut image = NvmImage::new();
         let a = layout.heap_base;
-        image.insert(layout.log_header, 2); // committed: 2
-        image.insert(layout.log_header + OFF_APPLIED, 1); // applied: 1
+        image.insert(layout.log_header, header_word(2)); // committed: 2
+        image.insert(layout.log_header + OFF_APPLIED, header_word(1)); // applied: 1
         // Tx 2's entry (new value 77); in-place still old.
         let slot = layout.slot_addr(0);
         image.insert(slot + OFF_ADDR, a);
@@ -483,6 +532,40 @@ mod tests {
         let r = recover_redo(&mut image, &layout);
         assert_eq!(r.rolled_back, 0);
         assert!(!image.contains_key(&a), "in-place data untouched");
+    }
+
+    #[test]
+    fn torn_committed_marker_is_healed_from_the_twin() {
+        // The primary committed marker tore, the twin survived: the
+        // committed-but-unapplied transaction must still be replayed.
+        let layout = Layout::standard();
+        let mut image = NvmImage::new();
+        let a = layout.heap_base;
+        image.insert(layout.log_header, header_word(2) ^ (1 << 50));
+        image.insert(layout.log_header_twin, header_word(2));
+        let slot = layout.slot_addr(0);
+        image.insert(slot + OFF_ADDR, a);
+        image.insert(slot + OFF_ADDR + 8, 77);
+        image.insert(slot + OFF_TXID, 2);
+        image.insert(slot + OFF_TXID + 8, checksum(a, 77, 2));
+        image.insert(a, 5);
+        let r = recover_redo(&mut image, &layout);
+        assert_eq!(r.committed_txid, 2);
+        assert_eq!(image[&a], 77);
+    }
+
+    #[test]
+    fn writer_markers_decode_on_both_lines() {
+        let out = one_tx(ArchConfig::Baseline);
+        let l = &out.layout;
+        for line in [l.log_header, l.log_header_twin] {
+            assert_eq!(crate::log::decode_header(out.memory.read(line)), 1);
+            assert_eq!(
+                crate::log::decode_header(out.memory.read(line + OFF_APPLIED)),
+                1
+            );
+            assert_eq!(out.memory.read(line + OFF_MAGIC), MAGIC);
+        }
     }
 
     #[test]

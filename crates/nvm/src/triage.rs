@@ -1,0 +1,951 @@
+//! Recovery triage — self-healing recovery over arbitrarily corrupted
+//! at-rest images.
+//!
+//! The plain recovery entry points ([`recover`](crate::recovery::recover),
+//! [`recover_redo`](crate::redo::recover_redo)) answer *"what state does
+//! this crash image roll forward/back to?"* and silently treat anything
+//! undecodable as "not committed". That is the right contract for crash
+//! images produced by the simulated machine, where every byte was written
+//! by our own code. It is the wrong contract for *at-rest corruption* —
+//! media bit rot, torn sectors, partial wipes — where recovery must say
+//! **what it found, what it repaired, and what it cannot vouch for**.
+//!
+//! This module unifies the three recovery paths (undo, redo, CoW) behind
+//! one taxonomy:
+//!
+//! | outcome                    | meaning                                      |
+//! |----------------------------|----------------------------------------------|
+//! | [`RecoveryOutcome::Clean`] | nothing to do; image already consistent      |
+//! | [`RecoveryOutcome::RolledBack`] | ordinary recovery work (undo/redo/none) |
+//! | [`RecoveryOutcome::RepairedTorn`] | damage found *and fully repaired* from redundancy |
+//! | [`RecoveryOutcome::Quarantined`] | damage found that redundancy cannot disambiguate |
+//! | [`RecoveryOutcome::Unrecoverable`] | the image is not (or no longer) ours |
+//!
+//! The first three are **strong claims**: the recovered image is
+//! byte-equal to what recovery of the uncorrupted image would have
+//! produced (the `corrupt` campaign in `ede_check` enforces this
+//! differentially). The last two are honest refusals with a diagnosis.
+//!
+//! Repair is possible because the image format carries redundancy:
+//! every log entry is checksummed ([`decode_entry`]), the superblock
+//! marker words are self-validating ([`classify_marker`]) and duplicated
+//! on a non-adjacent twin line written strictly first
+//! ([`resolve_marker`]), and both header lines carry a [`MAGIC`] word so
+//! a wiped image is distinguishable from a fresh one.
+//!
+//! [`scrub`] walks an image without modifying it and classifies every
+//! region; [`triage_recover`] / [`triage_recover_redo`] /
+//! [`triage_cow`] additionally run the protocol's recovery and apply
+//! repairs in place.
+
+use crate::cow::{decode_root, CowMeta};
+use crate::layout::Layout;
+use crate::log::{classify_marker, decode_entry, MarkerCopy, MAGIC, OFF_MAGIC};
+use crate::recovery::NvmImage;
+use crate::redo::OFF_APPLIED;
+use std::fmt;
+
+/// What triage concluded about an image, strongest guarantee first.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RecoveryOutcome {
+    /// No uncommitted work, no damage: the image was already consistent.
+    Clean,
+    /// Ordinary recovery ran (undo rollback or redo replay of `entries`
+    /// log entries); no media damage was found.
+    RolledBack {
+        /// Log entries rolled back (undo) or replayed (redo).
+        entries: usize,
+    },
+    /// Media damage was found and *fully repaired* from on-image
+    /// redundancy (twin superblock line, entry checksums); the repaired
+    /// image is byte-equal to recovery of an undamaged one.
+    RepairedTorn {
+        /// Log entries processed by the recovery that ran after repair.
+        entries: usize,
+    },
+    /// Damage was found that redundancy cannot disambiguate; recovery
+    /// ran best-effort but the result carries no consistency claim.
+    Quarantined {
+        /// Damaged regions that could not be repaired.
+        entries: usize,
+        /// The first (most severe) diagnosis.
+        reason: String,
+    },
+    /// The image does not identify as ours (magic destroyed on both
+    /// header lines) or every copy of a critical structure is gone.
+    /// Nothing was modified.
+    Unrecoverable {
+        /// Why no recovery was attempted.
+        diagnosis: String,
+    },
+}
+
+impl RecoveryOutcome {
+    /// Stable kebab-case label (metrics keys, report matrices).
+    pub fn label(&self) -> &'static str {
+        match self {
+            RecoveryOutcome::Clean => "clean",
+            RecoveryOutcome::RolledBack { .. } => "rolled-back",
+            RecoveryOutcome::RepairedTorn { .. } => "repaired-torn",
+            RecoveryOutcome::Quarantined { .. } => "quarantined",
+            RecoveryOutcome::Unrecoverable { .. } => "unrecoverable",
+        }
+    }
+
+    /// Whether this outcome claims the recovered image is byte-equal to
+    /// recovery of an undamaged image (the differential contract the
+    /// `corrupt` campaign enforces).
+    pub fn is_strong_claim(&self) -> bool {
+        matches!(
+            self,
+            RecoveryOutcome::Clean
+                | RecoveryOutcome::RolledBack { .. }
+                | RecoveryOutcome::RepairedTorn { .. }
+        )
+    }
+}
+
+impl fmt::Display for RecoveryOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryOutcome::Clean => write!(f, "clean"),
+            RecoveryOutcome::RolledBack { entries } => {
+                write!(f, "rolled back {entries} entries")
+            }
+            RecoveryOutcome::RepairedTorn { entries } => {
+                write!(f, "repaired torn superblock, then processed {entries} entries")
+            }
+            RecoveryOutcome::Quarantined { entries, reason } => {
+                write!(f, "quarantined {entries} regions: {reason}")
+            }
+            RecoveryOutcome::Unrecoverable { diagnosis } => {
+                write!(f, "unrecoverable: {diagnosis}")
+            }
+        }
+    }
+}
+
+/// How one byte range of the image reads.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RegionClass {
+    /// Decodes and validates (or is legitimately blank).
+    Valid,
+    /// Damaged, but healed from redundancy — post-triage content is
+    /// trustworthy.
+    Repaired,
+    /// Damaged beyond what redundancy can disambiguate.
+    Quarantined,
+    /// Carries no media-level integrity (application heap data): triage
+    /// can neither validate nor refute it.
+    Unprotected,
+}
+
+impl RegionClass {
+    /// Stable kebab-case label.
+    pub fn label(self) -> &'static str {
+        match self {
+            RegionClass::Valid => "valid",
+            RegionClass::Repaired => "repaired",
+            RegionClass::Quarantined => "quarantined",
+            RegionClass::Unprotected => "unprotected",
+        }
+    }
+}
+
+/// One classified byte range `[start, end)` of the image.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RegionReport {
+    /// First byte of the region.
+    pub start: u64,
+    /// One past the last byte.
+    pub end: u64,
+    /// The classification.
+    pub class: RegionClass,
+    /// Human-readable diagnosis ("log entry tx 3", "trailing garbage…").
+    pub detail: String,
+}
+
+impl fmt::Display for RegionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:#x}, {:#x}) {}: {}",
+            self.start,
+            self.end,
+            self.class.label(),
+            self.detail
+        )
+    }
+}
+
+/// The structured result of a triage pass.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TriageReport {
+    /// The overall conclusion.
+    pub outcome: RecoveryOutcome,
+    /// The committed transaction id triage resolved (0 when
+    /// unrecoverable).
+    pub committed: u64,
+    /// Every classified byte range, ascending by `start`.
+    pub regions: Vec<RegionReport>,
+}
+
+impl TriageReport {
+    /// Number of regions in `class`.
+    pub fn count(&self, class: RegionClass) -> usize {
+        self.regions.iter().filter(|r| r.class == class).count()
+    }
+
+    /// The region containing byte `addr`, if any.
+    pub fn region_covering(&self, addr: u64) -> Option<&RegionReport> {
+        self.regions.iter().find(|r| r.start <= addr && addr < r.end)
+    }
+}
+
+/// Superblock analysis shared by the undo and redo triage paths.
+struct SuperblockTriage {
+    unrecoverable: Option<String>,
+    quarantine: Vec<String>,
+    /// `(address, healed value)` writes that repair damage in place.
+    heals: Vec<(u64, u64)>,
+    /// Primary-line byte offsets (within the 64-byte line) repaired.
+    repaired_primary: Vec<u64>,
+    /// Twin-line byte offsets repaired.
+    repaired_twin: Vec<u64>,
+    /// Byte offsets whose damage is quarantined, per line.
+    quarantined_primary: Vec<u64>,
+    quarantined_twin: Vec<u64>,
+}
+
+fn triage_superblock(
+    image: &NvmImage,
+    layout: &Layout,
+    marker_offsets: &[u64],
+) -> SuperblockTriage {
+    let rd = |a: u64| image.get(&a).copied().unwrap_or(0);
+    let mut t = SuperblockTriage {
+        unrecoverable: None,
+        quarantine: Vec::new(),
+        heals: Vec::new(),
+        repaired_primary: Vec::new(),
+        repaired_twin: Vec::new(),
+        quarantined_primary: Vec::new(),
+        quarantined_twin: Vec::new(),
+    };
+    let magic_p = rd(layout.log_header + OFF_MAGIC);
+    let magic_t = rd(layout.log_header_twin + OFF_MAGIC);
+    if magic_p != MAGIC && magic_t != MAGIC {
+        t.unrecoverable = Some(
+            "superblock magic missing on both header lines — \
+             not an EDE NVM image (or both copies destroyed)"
+                .into(),
+        );
+        return t;
+    }
+    // The magic word is a constant: one surviving copy repairs the other.
+    if magic_p != MAGIC {
+        t.heals.push((layout.log_header + OFF_MAGIC, MAGIC));
+        t.repaired_primary.push(OFF_MAGIC);
+    }
+    if magic_t != MAGIC {
+        t.heals.push((layout.log_header_twin + OFF_MAGIC, MAGIC));
+        t.repaired_twin.push(OFF_MAGIC);
+    }
+    for &off in marker_offsets {
+        let p = rd(layout.log_header + off);
+        let tw = rd(layout.log_header_twin + off);
+        match (classify_marker(p), classify_marker(tw)) {
+            (MarkerCopy::Corrupt, MarkerCopy::Corrupt) => {
+                t.unrecoverable = Some(format!(
+                    "both copies of the marker at header offset {off} fail validation"
+                ));
+                return t;
+            }
+            (MarkerCopy::Corrupt, MarkerCopy::Valid(_)) => {
+                // Twin-first: the surviving twin is exact, not a lower
+                // bound — a clean repair.
+                t.heals.push((layout.log_header + off, tw));
+                t.repaired_primary.push(off);
+            }
+            (MarkerCopy::Corrupt, MarkerCopy::Fresh) => {
+                t.quarantine.push(format!(
+                    "primary marker at offset {off} damaged with a blank twin — \
+                     cannot distinguish a pre-commit scribble from a wiped twin"
+                ));
+                t.quarantined_primary.push(off);
+            }
+            (_, MarkerCopy::Corrupt) => {
+                t.quarantine.push(format!(
+                    "twin marker at offset {off} lost — the sole repair witness \
+                     is destroyed, the primary cannot be vouched for"
+                ));
+                t.quarantined_twin.push(off);
+            }
+            (MarkerCopy::Valid(k), MarkerCopy::Fresh) if k > 0 => {
+                t.quarantine.push(format!(
+                    "marker at offset {off}: primary claims tx {k} but the twin is \
+                     blank — twin-first ordering violated, the id is unverifiable"
+                ));
+                t.quarantined_twin.push(off);
+            }
+            (MarkerCopy::Valid(a), MarkerCopy::Valid(b)) if a > b => {
+                t.quarantine.push(format!(
+                    "marker at offset {off}: primary (tx {a}) is newer than the \
+                     twin (tx {b}) — impossible under twin-first commit"
+                ));
+                t.quarantined_twin.push(off);
+            }
+            (MarkerCopy::Valid(a), MarkerCopy::Valid(b)) if b > a => {
+                // Mid-commit crash: the twin persisted, the primary is
+                // one commit stale. Recovery resolves to the twin either
+                // way (resolve_marker takes the max); finishing the
+                // interrupted primary write makes the recovered image
+                // canonical — byte-equal whether the primary was stale,
+                // torn, or already current.
+                t.heals.push((layout.log_header + off, tw));
+                t.repaired_primary.push(off);
+            }
+            (MarkerCopy::Fresh, MarkerCopy::Valid(b)) if b > 0 => {
+                // Same, for the very first commit: the twin landed, the
+                // primary line is still fresh zeros.
+                t.heals.push((layout.log_header + off, tw));
+                t.repaired_primary.push(off);
+            }
+            _ => {}
+        }
+    }
+    t
+}
+
+/// Classifies the log-slot array; returns the regions plus the number of
+/// quarantined slots.
+fn scrub_slots(image: &NvmImage, layout: &Layout) -> (Vec<RegionReport>, usize) {
+    let rd = |a: u64| image.get(&a).copied().unwrap_or(0);
+    let mut regions = Vec::new();
+    let mut quarantined = 0;
+    for i in 0..layout.log_slots {
+        let slot = layout.log_base + i * 64;
+        let words: Vec<u64> = (0..8).map(|w| rd(slot + w * 8)).collect();
+        let trailing_garbage = words[4..].iter().any(|&w| w != 0);
+        let entry = decode_entry(slot, rd);
+        let (class, detail) = if words.iter().all(|&w| w == 0) {
+            // Nothing to report for a blank slot; keep the region list
+            // proportional to the image's interesting content.
+            continue;
+        } else if trailing_garbage {
+            (
+                RegionClass::Quarantined,
+                format!("log slot {i}: garbage beyond the 32-byte entry"),
+            )
+        } else if let Some(e) = entry {
+            // Byte-identical slots are *not* flagged: the redo writer
+            // appends one entry per `write` call, so a transaction that
+            // stores the same value to the same word twice legitimately
+            // leaves two identical slots — and replaying (or rolling
+            // back) a duplicated entry is idempotent, so a copied slot
+            // line cannot change what recovery produces.
+            (
+                RegionClass::Valid,
+                format!("log entry tx {} for {:#x}", e.txid, e.addr),
+            )
+        } else {
+            (
+                RegionClass::Quarantined,
+                format!("log slot {i}: non-blank entry fails checksum validation"),
+            )
+        };
+        if class == RegionClass::Quarantined {
+            quarantined += 1;
+        }
+        regions.push(RegionReport {
+            start: slot,
+            end: slot + 64,
+            class,
+            detail,
+        });
+    }
+    (regions, quarantined)
+}
+
+fn header_line_regions(
+    layout: &Layout,
+    sb: &SuperblockTriage,
+    marker_offsets: &[u64],
+    image: &NvmImage,
+) -> Vec<RegionReport> {
+    let rd = |a: u64| image.get(&a).copied().unwrap_or(0);
+    let mut regions = Vec::new();
+    for (line, name, repaired, quarantined) in [
+        (
+            layout.log_header,
+            "primary superblock",
+            &sb.repaired_primary,
+            &sb.quarantined_primary,
+        ),
+        (
+            layout.log_header_twin,
+            "twin superblock",
+            &sb.repaired_twin,
+            &sb.quarantined_twin,
+        ),
+    ] {
+        // Trailing words of a header line must be blank; marker and
+        // magic words are accounted for by the superblock triage.
+        let mut accounted: Vec<u64> = marker_offsets.to_vec();
+        accounted.push(OFF_MAGIC);
+        let garbage = (0..8)
+            .map(|w| w * 8)
+            .any(|off| !accounted.contains(&off) && rd(line + off) != 0);
+        let (class, detail) = if sb.unrecoverable.is_some() {
+            (
+                RegionClass::Quarantined,
+                format!("{name}: {}", sb.unrecoverable.as_deref().unwrap_or("")),
+            )
+        } else if garbage {
+            (
+                RegionClass::Quarantined,
+                format!("{name}: garbage in reserved words"),
+            )
+        } else if !quarantined.is_empty() {
+            (
+                RegionClass::Quarantined,
+                format!("{name}: marker damage at offsets {quarantined:?}"),
+            )
+        } else if !repaired.is_empty() {
+            (
+                RegionClass::Repaired,
+                format!("{name}: healed offsets {repaired:?} from the other copy"),
+            )
+        } else {
+            (RegionClass::Valid, name.to_string())
+        };
+        regions.push(RegionReport {
+            start: line,
+            end: line + 64,
+            class,
+            detail,
+        });
+    }
+    regions
+}
+
+/// The heap (and any stray low addresses) carry no integrity metadata.
+fn unprotected_regions(image: &NvmImage, layout: &Layout) -> Vec<RegionReport> {
+    let mut regions = Vec::new();
+    let max_heap = image.keys().filter(|&&a| a >= layout.heap_base).max();
+    if let Some(&max) = max_heap {
+        regions.push(RegionReport {
+            start: layout.heap_base,
+            end: max + 8,
+            class: RegionClass::Unprotected,
+            detail: "persistent heap (application data, no media-level integrity)".into(),
+        });
+    }
+    let max_low = image.keys().filter(|&&a| a < layout.log_header).max();
+    if let Some(&max) = max_low {
+        regions.push(RegionReport {
+            start: 0,
+            end: max + 8,
+            class: RegionClass::Unprotected,
+            detail: "below the persistent log (volatile scratch)".into(),
+        });
+    }
+    regions
+}
+
+/// Whether a header-line quarantine (as opposed to a slot quarantine)
+/// is present.
+fn sort_regions(mut regions: Vec<RegionReport>) -> Vec<RegionReport> {
+    regions.sort_by_key(|r| r.start);
+    regions
+}
+
+fn build_report(
+    image: &NvmImage,
+    layout: &Layout,
+    sb: &SuperblockTriage,
+    marker_offsets: &[u64],
+    committed: u64,
+    entries: usize,
+) -> TriageReport {
+    let (slot_regions, slot_quarantined) = scrub_slots(image, layout);
+    let mut regions = header_line_regions(layout, sb, marker_offsets, image);
+    regions.extend(slot_regions);
+    regions.extend(unprotected_regions(image, layout));
+    let regions = sort_regions(regions);
+    let outcome = if let Some(diagnosis) = &sb.unrecoverable {
+        RecoveryOutcome::Unrecoverable {
+            diagnosis: diagnosis.clone(),
+        }
+    } else if !sb.quarantine.is_empty() || slot_quarantined > 0 {
+        let reason = sb
+            .quarantine
+            .first()
+            .cloned()
+            .unwrap_or_else(|| {
+                regions
+                    .iter()
+                    .find(|r| r.class == RegionClass::Quarantined)
+                    .map(|r| r.detail.clone())
+                    .unwrap_or_else(|| "quarantined log content".into())
+            });
+        RecoveryOutcome::Quarantined {
+            entries: sb.quarantined_primary.len()
+                + sb.quarantined_twin.len()
+                + slot_quarantined,
+            reason,
+        }
+    } else if !sb.heals.is_empty() {
+        RecoveryOutcome::RepairedTorn { entries }
+    } else if entries > 0 {
+        RecoveryOutcome::RolledBack { entries }
+    } else {
+        RecoveryOutcome::Clean
+    };
+    TriageReport {
+        outcome,
+        committed,
+        regions,
+    }
+}
+
+/// Read-only scrub: classifies every region of an undo/redo image and
+/// reports the outcome triage *would* reach, without modifying the image.
+///
+/// # Example
+///
+/// ```
+/// use ede_nvm::log::{header_word, MAGIC, OFF_MAGIC};
+/// use ede_nvm::recovery::NvmImage;
+/// use ede_nvm::triage::{scrub, RecoveryOutcome};
+/// use ede_nvm::Layout;
+///
+/// let layout = Layout::standard();
+/// let mut image = NvmImage::new();
+/// for line in [layout.log_header, layout.log_header_twin] {
+///     image.insert(line + OFF_MAGIC, MAGIC);
+///     image.insert(line, header_word(1));
+/// }
+/// let report = scrub(&image, &layout);
+/// assert_eq!(report.outcome, RecoveryOutcome::Clean);
+/// assert_eq!(report.committed, 1);
+/// ```
+pub fn scrub(image: &NvmImage, layout: &Layout) -> TriageReport {
+    let mut clone = image.clone();
+    triage_recover(&mut clone, layout)
+}
+
+/// Undo-log triage: scrub, repair what redundancy allows, then run undo
+/// recovery (unless the image is unrecoverable, which leaves it
+/// untouched). See the module docs for the outcome taxonomy.
+pub fn triage_recover(image: &mut NvmImage, layout: &Layout) -> TriageReport {
+    let sb = triage_superblock(image, layout, &[0]);
+    if sb.unrecoverable.is_some() {
+        return build_report(image, layout, &sb, &[0], 0, 0);
+    }
+    for &(a, v) in &sb.heals {
+        image.insert(a, v);
+    }
+    let r = crate::recovery::recover(image, layout);
+    build_report(image, layout, &sb, &[0], r.committed_txid, r.rolled_back)
+}
+
+/// Redo-log triage: like [`triage_recover`] but over both redo markers
+/// (*committed* at offset 0, *applied* at [`OFF_APPLIED`]) and replaying
+/// committed-but-unapplied transactions forward.
+pub fn triage_recover_redo(image: &mut NvmImage, layout: &Layout) -> TriageReport {
+    let offsets = [0, OFF_APPLIED];
+    let sb = triage_superblock(image, layout, &offsets);
+    if sb.unrecoverable.is_some() {
+        return build_report(image, layout, &sb, &offsets, 0, 0);
+    }
+    for &(a, v) in &sb.heals {
+        image.insert(a, v);
+    }
+    let r = crate::redo::recover_redo(image, layout);
+    build_report(image, layout, &sb, &offsets, r.committed_txid, r.rolled_back)
+}
+
+/// CoW triage: validates the packed `(root ptr, marker)` pairs on the
+/// primary and twin root lines ([`decode_root`]), heals a torn primary
+/// from the twin, and quarantines the sole-witness cases. CoW needs no
+/// log replay — recovery *is* resolving the root.
+pub fn triage_cow(image: &mut NvmImage, meta: &CowMeta) -> TriageReport {
+    let rd = |image: &NvmImage, a: u64| image.get(&a).copied().unwrap_or(0);
+    let p = (rd(image, meta.root_line), rd(image, meta.root_line + 8));
+    let t = (rd(image, meta.root_twin), rd(image, meta.root_twin + 8));
+    let dp = decode_root(p.0, p.1);
+    let dt = decode_root(t.0, t.1);
+    let mut regions = Vec::new();
+    let mut push = |start: u64, class: RegionClass, detail: String| {
+        regions.push(RegionReport {
+            start,
+            end: start + 64,
+            class,
+            detail,
+        });
+    };
+    let (outcome, committed) = match (dp, dt) {
+        (None, None) => {
+            push(
+                meta.root_line,
+                RegionClass::Quarantined,
+                "primary root line fails validation".into(),
+            );
+            push(
+                meta.root_twin,
+                RegionClass::Quarantined,
+                "twin root line fails validation".into(),
+            );
+            (
+                RecoveryOutcome::Unrecoverable {
+                    diagnosis: "both root-line copies fail validation — no tree to walk"
+                        .into(),
+                },
+                0,
+            )
+        }
+        (None, Some(b)) => {
+            // Heal the torn primary from the twin (exact, by twin-first).
+            image.insert(meta.root_line, t.0);
+            image.insert(meta.root_line + 8, t.1);
+            push(
+                meta.root_line,
+                RegionClass::Repaired,
+                format!("primary root line healed from the twin (tx {b})"),
+            );
+            push(meta.root_twin, RegionClass::Valid, "twin root line".into());
+            (RecoveryOutcome::RepairedTorn { entries: 1 }, b)
+        }
+        (Some(a), None) => {
+            push(meta.root_line, RegionClass::Valid, "primary root line".into());
+            push(
+                meta.root_twin,
+                RegionClass::Quarantined,
+                "twin root line lost — the sole repair witness is destroyed".into(),
+            );
+            (
+                RecoveryOutcome::Quarantined {
+                    entries: 1,
+                    reason: "twin root line lost — a newer commit may have been \
+                             destroyed with it"
+                        .into(),
+                },
+                a,
+            )
+        }
+        (Some(a), Some(b)) if a > b => {
+            push(meta.root_line, RegionClass::Valid, "primary root line".into());
+            push(
+                meta.root_twin,
+                RegionClass::Quarantined,
+                format!("twin (tx {b}) older than primary (tx {a})"),
+            );
+            (
+                RecoveryOutcome::Quarantined {
+                    entries: 1,
+                    reason: format!(
+                        "primary root (tx {a}) newer than the twin (tx {b}) — \
+                         impossible under twin-first commit"
+                    ),
+                },
+                a,
+            )
+        }
+        (Some(a), Some(b)) => {
+            push(meta.root_line, RegionClass::Valid, "primary root line".into());
+            push(meta.root_twin, RegionClass::Valid, "twin root line".into());
+            if b > a {
+                // Crash between the twin and primary switches: roll the
+                // primary forward to the twin's (newer) pair.
+                image.insert(meta.root_line, t.0);
+                image.insert(meta.root_line + 8, t.1);
+            }
+            (RecoveryOutcome::Clean, a.max(b))
+        }
+    };
+    let tree: Vec<u64> = image
+        .keys()
+        .copied()
+        .filter(|&a| {
+            !(meta.root_line..meta.root_line + 64).contains(&a)
+                && !(meta.root_twin..meta.root_twin + 64).contains(&a)
+        })
+        .collect();
+    if let (Some(&lo), Some(&hi)) = (tree.iter().min(), tree.iter().max()) {
+        regions.push(RegionReport {
+            start: lo,
+            end: hi + 8,
+            class: RegionClass::Unprotected,
+            detail: "CoW tree (pointers and data blocks carry no per-block integrity)"
+                .into(),
+        });
+    }
+    TriageReport {
+        outcome,
+        committed,
+        regions: sort_regions(regions),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::{checksum, header_word, OFF_ADDR, OFF_CSUM, OFF_OLD, OFF_TXID};
+
+    fn formatted_image(layout: &Layout) -> NvmImage {
+        let mut image = NvmImage::new();
+        for line in [layout.log_header, layout.log_header_twin] {
+            image.insert(line + OFF_MAGIC, MAGIC);
+        }
+        image
+    }
+
+    fn put_entry(image: &mut NvmImage, layout: &Layout, slot: u64, addr: u64, old: u64, txid: u64) {
+        let s = layout.slot_addr(slot);
+        image.insert(s + OFF_ADDR, addr);
+        image.insert(s + OFF_OLD, old);
+        image.insert(s + OFF_TXID, txid);
+        image.insert(s + OFF_CSUM, checksum(addr, old, txid));
+    }
+
+    #[test]
+    fn clean_image_is_clean() {
+        let layout = Layout::standard();
+        let mut image = formatted_image(&layout);
+        for line in [layout.log_header, layout.log_header_twin] {
+            image.insert(line, header_word(2));
+        }
+        put_entry(&mut image, &layout, 0, layout.heap_base, 1, 2); // committed
+        let r = triage_recover(&mut image, &layout);
+        assert_eq!(r.outcome, RecoveryOutcome::Clean);
+        assert_eq!(r.committed, 2);
+        assert_eq!(r.count(RegionClass::Quarantined), 0);
+    }
+
+    #[test]
+    fn ordinary_rollback_is_rolled_back() {
+        let layout = Layout::standard();
+        let mut image = formatted_image(&layout);
+        put_entry(&mut image, &layout, 0, layout.heap_base, 7, 1); // uncommitted
+        image.insert(layout.heap_base, 99);
+        let r = triage_recover(&mut image, &layout);
+        assert_eq!(r.outcome, RecoveryOutcome::RolledBack { entries: 1 });
+        assert_eq!(image[&layout.heap_base], 7);
+    }
+
+    #[test]
+    fn torn_primary_marker_is_repaired_from_twin() {
+        let layout = Layout::standard();
+        let mut image = formatted_image(&layout);
+        image.insert(layout.log_header, header_word(3) ^ (1 << 33));
+        image.insert(layout.log_header_twin, header_word(3));
+        let r = triage_recover(&mut image, &layout);
+        assert_eq!(r.outcome, RecoveryOutcome::RepairedTorn { entries: 0 });
+        assert_eq!(r.committed, 3);
+        assert_eq!(image[&layout.log_header], header_word(3), "healed in place");
+        let sb = r.region_covering(layout.log_header).unwrap();
+        assert_eq!(sb.class, RegionClass::Repaired);
+    }
+
+    #[test]
+    fn lost_twin_marker_is_quarantined() {
+        let layout = Layout::standard();
+        let mut image = formatted_image(&layout);
+        image.insert(layout.log_header, header_word(3));
+        image.insert(layout.log_header_twin, 0xDEAD_BEEF);
+        let r = triage_recover(&mut image, &layout);
+        assert!(
+            matches!(r.outcome, RecoveryOutcome::Quarantined { .. }),
+            "sole repair witness destroyed: {:?}",
+            r.outcome
+        );
+        assert!(!r.outcome.is_strong_claim());
+    }
+
+    #[test]
+    fn double_wipe_is_unrecoverable_and_untouched() {
+        let layout = Layout::standard();
+        // Magic never present on either line: zero-wiped (or foreign).
+        let mut image = NvmImage::new();
+        put_entry(&mut image, &layout, 0, layout.heap_base, 7, 1);
+        image.insert(layout.heap_base, 99);
+        let before = image.clone();
+        let r = triage_recover(&mut image, &layout);
+        assert!(matches!(r.outcome, RecoveryOutcome::Unrecoverable { .. }));
+        assert_eq!(image, before, "an unrecoverable image is never modified");
+    }
+
+    #[test]
+    fn both_marker_copies_corrupt_is_unrecoverable() {
+        let layout = Layout::standard();
+        let mut image = formatted_image(&layout);
+        image.insert(layout.log_header, 0xBAD);
+        image.insert(layout.log_header_twin, 0xBAD0);
+        let r = triage_recover(&mut image, &layout);
+        assert!(matches!(r.outcome, RecoveryOutcome::Unrecoverable { .. }));
+    }
+
+    #[test]
+    fn corrupt_slot_is_quarantined_with_byte_range() {
+        let layout = Layout::standard();
+        let mut image = formatted_image(&layout);
+        put_entry(&mut image, &layout, 2, layout.heap_base, 7, 1);
+        let csum = layout.slot_addr(2) + OFF_CSUM;
+        *image.get_mut(&csum).unwrap() ^= 1 << 9;
+        let r = triage_recover(&mut image, &layout);
+        match &r.outcome {
+            RecoveryOutcome::Quarantined { entries, reason } => {
+                assert_eq!(*entries, 1);
+                assert!(reason.contains("slot 2"), "{reason}");
+            }
+            o => panic!("expected quarantine, got {o:?}"),
+        }
+        let region = r.region_covering(csum).expect("corrupt slot is named");
+        assert_eq!(region.class, RegionClass::Quarantined);
+        assert_eq!(region.start, layout.slot_addr(2));
+        assert_eq!(region.end, layout.slot_addr(2) + 64);
+    }
+
+    #[test]
+    fn duplicated_slot_line_is_tolerated() {
+        // A transaction storing the same value to the same word twice
+        // leaves two byte-identical slots (the redo writer appends one
+        // entry per write) — and rolling back a duplicated entry is
+        // idempotent. Identical content must therefore stay a strong
+        // claim, not trip a corruption heuristic.
+        let layout = Layout::standard();
+        let mut image = formatted_image(&layout);
+        put_entry(&mut image, &layout, 0, layout.heap_base, 7, 1);
+        put_entry(&mut image, &layout, 5, layout.heap_base, 7, 1); // same
+        let r = triage_recover(&mut image, &layout);
+        assert!(matches!(r.outcome, RecoveryOutcome::RolledBack { .. }));
+        assert_eq!(image.get(&layout.heap_base), Some(&7));
+        let dup = r.region_covering(layout.slot_addr(5)).unwrap();
+        assert_eq!(dup.class, RegionClass::Valid, "{}", dup.detail);
+    }
+
+    #[test]
+    fn trailing_slot_garbage_is_quarantined() {
+        let layout = Layout::standard();
+        let mut image = formatted_image(&layout);
+        image.insert(layout.slot_addr(1) + 40, 0x4141_4141);
+        let r = triage_recover(&mut image, &layout);
+        assert!(matches!(r.outcome, RecoveryOutcome::Quarantined { .. }));
+    }
+
+    #[test]
+    fn heap_is_reported_unprotected() {
+        let layout = Layout::standard();
+        let mut image = formatted_image(&layout);
+        image.insert(layout.heap_base + 128, 42);
+        let r = triage_recover(&mut image, &layout);
+        let region = r.region_covering(layout.heap_base + 128).unwrap();
+        assert_eq!(region.class, RegionClass::Unprotected);
+    }
+
+    #[test]
+    fn scrub_does_not_modify() {
+        let layout = Layout::standard();
+        let mut image = formatted_image(&layout);
+        image.insert(layout.log_header, header_word(3) ^ 1);
+        image.insert(layout.log_header_twin, header_word(3));
+        let before = image.clone();
+        let r = scrub(&image, &layout);
+        assert_eq!(r.outcome, RecoveryOutcome::RepairedTorn { entries: 0 });
+        assert_eq!(image, before);
+    }
+
+    #[test]
+    fn redo_triage_covers_both_markers() {
+        let layout = Layout::standard();
+        let mut image = formatted_image(&layout);
+        let a = layout.heap_base;
+        // Committed marker torn on the primary; applied marker intact.
+        image.insert(layout.log_header, header_word(1) ^ (1 << 44));
+        image.insert(layout.log_header_twin, header_word(1));
+        let slot = layout.slot_addr(0);
+        image.insert(slot + OFF_ADDR, a);
+        image.insert(slot + OFF_ADDR + 8, 77);
+        image.insert(slot + OFF_TXID, 1);
+        image.insert(slot + OFF_TXID + 8, checksum(a, 77, 1));
+        image.insert(a, 5);
+        let r = triage_recover_redo(&mut image, &layout);
+        assert_eq!(r.outcome, RecoveryOutcome::RepairedTorn { entries: 1 });
+        assert_eq!(image[&a], 77, "replayed forward after repair");
+        assert_eq!(image[&layout.log_header], header_word(1));
+    }
+
+    #[test]
+    fn cow_triage_heals_torn_primary_root() {
+        use crate::cow::root_word;
+        let meta = CowMeta {
+            root_line: 0x1_0000_0000,
+            root_twin: 0x1_0000_1000,
+            slots: 8,
+        };
+        let mut image = NvmImage::new();
+        image.insert(meta.root_line, 0x9000);
+        image.insert(meta.root_line + 8, 1); // torn: raw id half only
+        image.insert(meta.root_twin, 0x9000);
+        image.insert(meta.root_twin + 8, root_word(0x9000, 1));
+        let r = triage_cow(&mut image, &meta);
+        assert_eq!(r.outcome, RecoveryOutcome::RepairedTorn { entries: 1 });
+        assert_eq!(r.committed, 1);
+        assert_eq!(image[&(meta.root_line + 8)], root_word(0x9000, 1));
+        assert_eq!(
+            r.region_covering(meta.root_line).unwrap().class,
+            RegionClass::Repaired
+        );
+    }
+
+    #[test]
+    fn cow_triage_unrecoverable_when_both_roots_lost() {
+        let meta = CowMeta {
+            root_line: 0x1_0000_0000,
+            root_twin: 0x1_0000_1000,
+            slots: 8,
+        };
+        let mut image = NvmImage::new(); // zero everywhere: nothing validates
+        let r = triage_cow(&mut image, &meta);
+        assert!(matches!(r.outcome, RecoveryOutcome::Unrecoverable { .. }));
+    }
+
+    #[test]
+    fn cow_triage_rolls_primary_forward_to_newer_twin() {
+        use crate::cow::root_word;
+        let meta = CowMeta {
+            root_line: 0x1_0000_0000,
+            root_twin: 0x1_0000_1000,
+            slots: 8,
+        };
+        let mut image = NvmImage::new();
+        // Crash between the twin switch and the primary switch.
+        image.insert(meta.root_line, 0x9000);
+        image.insert(meta.root_line + 8, root_word(0x9000, 1));
+        image.insert(meta.root_twin, 0x9400);
+        image.insert(meta.root_twin + 8, root_word(0x9400, 2));
+        let r = triage_cow(&mut image, &meta);
+        assert_eq!(r.outcome, RecoveryOutcome::Clean);
+        assert_eq!(r.committed, 2);
+        assert_eq!(image[&meta.root_line], 0x9400);
+    }
+
+    #[test]
+    fn outcome_labels_are_stable() {
+        assert_eq!(RecoveryOutcome::Clean.label(), "clean");
+        assert_eq!(
+            RecoveryOutcome::Quarantined {
+                entries: 1,
+                reason: String::new()
+            }
+            .label(),
+            "quarantined"
+        );
+        assert!(RecoveryOutcome::Clean.is_strong_claim());
+        assert!(!RecoveryOutcome::Unrecoverable {
+            diagnosis: String::new()
+        }
+        .is_strong_claim());
+    }
+}

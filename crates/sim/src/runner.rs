@@ -8,7 +8,7 @@ use ede_cpu::ptrace::{PipeObserver, PipeRecorder};
 use ede_cpu::{Core, IssueHistogram, StallTable, Tracer, TracerConfig};
 use ede_isa::{ArchConfig, InstId, Program};
 use ede_mem::{MemStats, MemSystem, PersistTrace};
-use ede_nvm::{check_crash_consistency, ConsistencyError, TxOutput};
+use ede_nvm::{check_crash_consistency, CheckFailure, TxOutput};
 use ede_util::obs::Registry;
 use ede_workloads::{Workload, WorkloadParams};
 use std::cell::RefCell;
@@ -78,7 +78,7 @@ impl RunResult {
     pub fn crash_consistent_sampled(
         &self,
         samples: u64,
-    ) -> Result<(), (u64, ConsistencyError)> {
+    ) -> Result<(), (u64, CheckFailure)> {
         let from = self.tx_phase_start_cycle();
         check_crash_consistency(&self.output, &self.trace, from, samples)
     }
@@ -88,7 +88,7 @@ impl RunResult {
     /// # Errors
     ///
     /// See [`crash_consistent_sampled`](Self::crash_consistent_sampled).
-    pub fn crash_consistent(&self) -> Result<(), (u64, ConsistencyError)> {
+    pub fn crash_consistent(&self) -> Result<(), (u64, CheckFailure)> {
         self.crash_consistent_sampled(64)
     }
 

@@ -456,13 +456,19 @@ pub fn json_escape(s: &str) -> String {
 }
 
 pub mod json {
-    //! A strict recursive-descent parser for the JSON the workspace
-    //! emits — the in-repo shape checker behind `ede-sim
+    //! A strict recursive-descent parser (and printer) for the JSON the
+    //! workspace emits — the in-repo shape checker behind `ede-sim
     //! validate-metrics` and the metrics assertions in tests.
     //!
     //! Full JSON (objects, arrays, strings with escapes, numbers, bools,
     //! null); numbers are held as `f64`, which is exact for every integer
-    //! the simulator serializes below 2^53.
+    //! the simulator serializes below 2^53. The parser is hardened for
+    //! adversarial input: nesting beyond [`MAX_DEPTH`] is a typed
+    //! [`ParseError::TooDeep`] instead of a stack overflow, and
+    //! non-finite number literals (`1e999`) are rejected rather than
+    //! silently becoming `inf`. [`print`] renders a value back to a
+    //! document [`parse`] reproduces exactly (`parse ∘ print` is the
+    //! identity on finite values).
     //!
     //! # Example
     //!
@@ -553,21 +559,117 @@ pub mod json {
         }
     }
 
+    /// The deepest value nesting [`parse`] accepts. Every document the
+    /// workspace emits is a handful of levels deep; the limit exists so
+    /// adversarial input (`[[[[…`) produces a typed error instead of
+    /// exhausting the call stack.
+    pub const MAX_DEPTH: usize = 128;
+
+    /// Why a document failed to parse.
+    #[derive(Clone, PartialEq, Eq, Debug)]
+    pub enum ParseError {
+        /// Value nesting exceeded [`MAX_DEPTH`].
+        TooDeep {
+            /// The enforced limit.
+            limit: usize,
+        },
+        /// Malformed JSON, with a byte-offset diagnosis.
+        Invalid {
+            /// What went wrong and where.
+            detail: String,
+        },
+    }
+
+    impl core::fmt::Display for ParseError {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            match self {
+                ParseError::TooDeep { limit } => {
+                    write!(f, "value nesting deeper than {limit} levels")
+                }
+                ParseError::Invalid { detail } => write!(f, "{detail}"),
+            }
+        }
+    }
+
+    impl std::error::Error for ParseError {}
+
+    fn invalid(detail: String) -> ParseError {
+        ParseError::Invalid { detail }
+    }
+
     /// Parses a complete JSON document (trailing whitespace allowed,
     /// trailing garbage rejected).
     ///
     /// # Errors
     ///
-    /// A human-readable description with the byte offset of the problem.
+    /// A human-readable description with the byte offset of the problem
+    /// (the stringified [`ParseError`]; use [`try_parse`] for the typed
+    /// form).
     pub fn parse(input: &str) -> Result<Json, String> {
+        try_parse(input).map_err(|e| e.to_string())
+    }
+
+    /// [`parse`] with the error kept as a typed [`ParseError`].
+    ///
+    /// # Errors
+    ///
+    /// [`ParseError::TooDeep`] when nesting exceeds [`MAX_DEPTH`];
+    /// [`ParseError::Invalid`] for every other malformation.
+    pub fn try_parse(input: &str) -> Result<Json, ParseError> {
         let bytes = input.as_bytes();
         let mut pos = 0;
-        let value = parse_value(bytes, &mut pos)?;
+        let value = parse_value(bytes, &mut pos, 0)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
-            return Err(format!("trailing garbage at byte {pos}"));
+            return Err(invalid(format!("trailing garbage at byte {pos}")));
         }
         Ok(value)
+    }
+
+    /// Renders a value as a compact single-line document that [`parse`]
+    /// maps back to an equal value. Non-finite numbers (which [`parse`]
+    /// can never produce) render as `null`.
+    pub fn print(v: &Json) -> String {
+        let mut out = String::new();
+        print_into(v, &mut out);
+        out
+    }
+
+    fn print_into(v: &Json, out: &mut String) {
+        match v {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(n) if !n.is_finite() => out.push_str("null"),
+            // `{}` on f64 is the shortest decimal that round-trips, and
+            // never exponent notation — always a valid JSON number.
+            Json::Num(n) => {
+                let _ = core::fmt::Write::write_fmt(out, format_args!("{n}"));
+            }
+            Json::Str(s) => out.push_str(&super::json_escape(s)),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    print_into(item, out);
+                }
+                out.push(']');
+            }
+            Json::Object(members) => {
+                out.push('{');
+                for (i, (k, val)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&super::json_escape(k));
+                    out.push(':');
+                    print_into(val, out);
+                }
+                out.push('}');
+            }
+        }
     }
 
     fn skip_ws(b: &[u8], pos: &mut usize) {
@@ -576,21 +678,24 @@ pub mod json {
         }
     }
 
-    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), ParseError> {
         if *pos < b.len() && b[*pos] == c {
             *pos += 1;
             Ok(())
         } else {
-            Err(format!("expected `{}` at byte {}", c as char, pos))
+            Err(invalid(format!("expected `{}` at byte {}", c as char, pos)))
         }
     }
 
-    fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, ParseError> {
+        if depth >= MAX_DEPTH {
+            return Err(ParseError::TooDeep { limit: MAX_DEPTH });
+        }
         skip_ws(b, pos);
         match b.get(*pos) {
-            None => Err("unexpected end of input".to_string()),
-            Some(b'{') => parse_object(b, pos),
-            Some(b'[') => parse_array(b, pos),
+            None => Err(invalid("unexpected end of input".to_string())),
+            Some(b'{') => parse_object(b, pos, depth),
+            Some(b'[') => parse_array(b, pos, depth),
             Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
             Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
             Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
@@ -599,16 +704,16 @@ pub mod json {
         }
     }
 
-    fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Json) -> Result<Json, String> {
+    fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Json) -> Result<Json, ParseError> {
         if b[*pos..].starts_with(lit.as_bytes()) {
             *pos += lit.len();
             Ok(v)
         } else {
-            Err(format!("invalid literal at byte {pos}"))
+            Err(invalid(format!("invalid literal at byte {pos}")))
         }
     }
 
-    fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    fn parse_object(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, ParseError> {
         expect(b, pos, b'{')?;
         let mut members = Vec::new();
         skip_ws(b, pos);
@@ -621,7 +726,7 @@ pub mod json {
             let key = parse_string(b, pos)?;
             skip_ws(b, pos);
             expect(b, pos, b':')?;
-            let value = parse_value(b, pos)?;
+            let value = parse_value(b, pos, depth + 1)?;
             members.push((key, value));
             skip_ws(b, pos);
             match b.get(*pos) {
@@ -630,12 +735,12 @@ pub mod json {
                     *pos += 1;
                     return Ok(Json::Object(members));
                 }
-                _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+                _ => return Err(invalid(format!("expected `,` or `}}` at byte {pos}"))),
             }
         }
     }
 
-    fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    fn parse_array(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, ParseError> {
         expect(b, pos, b'[')?;
         let mut items = Vec::new();
         skip_ws(b, pos);
@@ -644,7 +749,7 @@ pub mod json {
             return Ok(Json::Array(items));
         }
         loop {
-            items.push(parse_value(b, pos)?);
+            items.push(parse_value(b, pos, depth + 1)?);
             skip_ws(b, pos);
             match b.get(*pos) {
                 Some(b',') => *pos += 1,
@@ -652,17 +757,17 @@ pub mod json {
                     *pos += 1;
                     return Ok(Json::Array(items));
                 }
-                _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+                _ => return Err(invalid(format!("expected `,` or `]` at byte {pos}"))),
             }
         }
     }
 
-    fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, ParseError> {
         expect(b, pos, b'"')?;
         let mut out = String::new();
         loop {
             match b.get(*pos) {
-                None => return Err("unterminated string".to_string()),
+                None => return Err(invalid("unterminated string".to_string())),
                 Some(b'"') => {
                     *pos += 1;
                     return Ok(out);
@@ -682,23 +787,22 @@ pub mod json {
                             let hex = b
                                 .get(*pos + 1..*pos + 5)
                                 .and_then(|h| std::str::from_utf8(h).ok())
-                                .ok_or_else(|| format!("bad \\u escape at byte {pos}"))?;
+                                .ok_or_else(|| invalid(format!("bad \\u escape at byte {pos}")))?;
                             let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| format!("bad \\u escape at byte {pos}"))?;
-                            out.push(
-                                char::from_u32(code)
-                                    .ok_or_else(|| format!("bad code point at byte {pos}"))?,
-                            );
+                                .map_err(|_| invalid(format!("bad \\u escape at byte {pos}")))?;
+                            out.push(char::from_u32(code).ok_or_else(|| {
+                                invalid(format!("bad code point at byte {pos}"))
+                            })?);
                             *pos += 4;
                         }
-                        _ => return Err(format!("bad escape at byte {pos}")),
+                        _ => return Err(invalid(format!("bad escape at byte {pos}"))),
                     }
                     *pos += 1;
                 }
                 Some(_) => {
                     // Advance one whole UTF-8 character.
                     let s = std::str::from_utf8(&b[*pos..])
-                        .map_err(|_| format!("invalid UTF-8 at byte {pos}"))?;
+                        .map_err(|_| invalid(format!("invalid UTF-8 at byte {pos}")))?;
                     let c = s.chars().next().unwrap();
                     out.push(c);
                     *pos += c.len_utf8();
@@ -707,7 +811,7 @@ pub mod json {
         }
     }
 
-    fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
         let start = *pos;
         if b.get(*pos) == Some(&b'-') {
             *pos += 1;
@@ -718,9 +822,15 @@ pub mod json {
             *pos += 1;
         }
         let text = std::str::from_utf8(&b[start..*pos]).expect("digits are ASCII");
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| format!("invalid number `{text}` at byte {start}"))
+        match text.parse::<f64>() {
+            // `1e999` parses to `inf` in Rust — a silent lie about the
+            // document's content. Only finite literals are JSON numbers.
+            Ok(n) if n.is_finite() => Ok(Json::Num(n)),
+            Ok(_) => Err(invalid(format!(
+                "number `{text}` at byte {start} overflows to a non-finite value"
+            ))),
+            Err(_) => Err(invalid(format!("invalid number `{text}` at byte {start}"))),
+        }
     }
 }
 
@@ -921,5 +1031,107 @@ mod tests {
         let escaped = json_escape(nasty);
         let v = parse(&escaped).unwrap();
         assert_eq!(v.as_str(), Some(nasty));
+    }
+
+    #[test]
+    fn deep_nesting_is_a_typed_error_not_a_stack_overflow() {
+        use super::json::{try_parse, ParseError, MAX_DEPTH};
+        // Far past any plausible stack budget if recursion were
+        // unbounded.
+        let bombs = ["[".repeat(100_000), "{\"k\":".repeat(100_000)];
+        for bomb in &bombs {
+            match try_parse(bomb) {
+                Err(ParseError::TooDeep { limit }) => assert_eq!(limit, MAX_DEPTH),
+                other => panic!("expected TooDeep, got {other:?}"),
+            }
+        }
+        // Documents at the limit still parse.
+        let depth = MAX_DEPTH - 1;
+        let ok = format!("{}0{}", "[".repeat(depth), "]".repeat(depth));
+        assert!(try_parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn non_finite_number_literals_are_rejected() {
+        for bad in ["1e999", "-1e999", "1e308e5"] {
+            assert!(parse(bad).is_err(), "`{bad}` must not parse");
+        }
+        // Large-but-finite still fine.
+        assert_eq!(parse("1e308").unwrap(), Json::Num(1e308));
+    }
+
+    #[test]
+    fn parse_never_panics_on_random_input() {
+        use crate::rng::SmallRng;
+        let mut rng = SmallRng::seed_from_u64(0x0B5_F022);
+        for case in 0..2000u64 {
+            let len = rng.gen_range(0usize..64);
+            let mut bytes = vec![0u8; len];
+            rng.fill_bytes(&mut bytes);
+            // Bias half the cases toward structural bytes so the fuzz
+            // actually reaches the parser's interior, not just the
+            // first-byte dispatch.
+            if case % 2 == 0 {
+                const STRUCT: &[u8] = b"{}[]\",:.-+eE0123456789truefalsnu\\ ";
+                for b in &mut bytes {
+                    *b = STRUCT[*b as usize % STRUCT.len()];
+                }
+            }
+            let text = String::from_utf8_lossy(&bytes);
+            let _ = parse(&text); // must return, never panic
+        }
+    }
+
+    fn random_doc(rng: &mut crate::rng::SmallRng, depth: usize) -> Json {
+        match rng.gen_range(0u64..if depth >= 4 { 4 } else { 6 }) {
+            0 => Json::Null,
+            1 => Json::Bool(rng.gen_bool(0.5)),
+            2 => {
+                // Mix of integers and dyadic fractions — all exact in
+                // f64, so equality after a round trip is meaningful.
+                let n = rng.gen_range(0u64..1 << 40) as f64;
+                let d = [1.0, 2.0, 4.0, 8.0][rng.gen_range(0usize..4)];
+                Json::Num(if rng.gen_bool(0.5) { n / d } else { -(n / d) })
+            }
+            3 => {
+                let nasty = ["", "plain", "q\"q", "b\\b", "nl\n", "tab\t", "u\u{1}"];
+                Json::Str(nasty[rng.gen_range(0usize..nasty.len())].to_string())
+            }
+            4 => {
+                let n = rng.gen_range(0usize..4);
+                Json::Array((0..n).map(|_| random_doc(rng, depth + 1)).collect())
+            }
+            _ => {
+                let n = rng.gen_range(0usize..4);
+                Json::Object(
+                    (0..n)
+                        .map(|i| (format!("k{i}"), random_doc(rng, depth + 1)))
+                        .collect(),
+                )
+            }
+        }
+    }
+
+    #[test]
+    fn print_parse_is_the_identity() {
+        use super::json::print;
+        let mut rng = crate::rng::SmallRng::seed_from_u64(0x1DE17171);
+        for _ in 0..500 {
+            let doc = random_doc(&mut rng, 0);
+            let text = print(&doc);
+            let back = parse(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
+            assert_eq!(back, doc, "round trip through `{text}`");
+        }
+    }
+
+    #[test]
+    fn print_renders_non_finite_as_null() {
+        use super::json::print;
+        assert_eq!(print(&Json::Num(f64::NAN)), "null");
+        assert_eq!(print(&Json::Num(f64::INFINITY)), "null");
+        assert_eq!(
+            print(&Json::Array(vec![Json::Num(1.5), Json::Num(f64::NEG_INFINITY)])),
+            "[1.5,null]"
+        );
     }
 }

@@ -97,6 +97,36 @@ if cargo run --release --offline -q -p ede-check --bin ede-sim -- \
 fi
 grep -q '"verdict": "counterexample"' "$out_dir/explore_cx.json"
 
+# Corruption-campaign smoke: one corruption kind per crash-safe
+# architecture through the recovery triage engine (exit 0 asserts the
+# triage contract: no panic, no silent wrong image, every damaged
+# region accounted for), plus the jobs-determinism diff on the full
+# triage matrix and the panic-quarantine self-test. The nightly job
+# runs the full kind × arch sweep at a deep case budget (see
+# .github/workflows/ci.yml).
+echo "==> corrupt smoke (one kind per arch, matrix determinism)"
+for cell in "torn-word B" "wipe-zero IQ" "sector-tear WB"; do
+    set -- $cell
+    kind=$1; arch=$2
+    cargo run --release --offline -q -p ede-check --bin ede-sim -- \
+        corrupt --seed 2 --cases 3 --kind "$kind" --arch "$arch" --jobs 2 \
+        2>/dev/null > "$out_dir/corrupt_cell.json"
+    grep -q '"contract_holds": true' "$out_dir/corrupt_cell.json"
+done
+cargo run --release --offline -q -p ede-check --bin ede-sim -- \
+    corrupt --seed 2 --cases 2 --jobs 1 2>/dev/null > "$out_dir/corrupt_j1.json"
+cargo run --release --offline -q -p ede-check --bin ede-sim -- \
+    corrupt --seed 2 --cases 2 --jobs 4 2>/dev/null > "$out_dir/corrupt_j4.json"
+diff "$out_dir/corrupt_j1.json" "$out_dir/corrupt_j4.json"
+set +e
+cargo run --release --offline -q -p ede-check --bin ede-sim -- \
+    corrupt --seed 2 --cases 2 --self-test-panic 3 \
+    2>/dev/null > "$out_dir/corrupt_q.out"
+rc=$?
+set -e
+[ "$rc" -eq 2 ] || { echo "corrupt self-test-panic exited $rc, want 2" >&2; exit 1; }
+grep -q 'quarantined' "$out_dir/corrupt_q.out"
+
 # Observability smoke: trace one litmus program on EDE hardware, then
 # re-validate the emitted ede.metrics.v1 document with the in-repo shape
 # checker (schema tag, exhaustive stall taxonomy, busy + causes == total

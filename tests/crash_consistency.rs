@@ -50,6 +50,7 @@ fn unsafe_config_u_loses_data_at_some_crash_point() {
     // The violation is a real data-loss scenario, not a checker artifact.
     let (cycle, e) = err;
     assert!(cycle > 0);
+    let e = e.inconsistency().expect("a consistency violation");
     assert_ne!(e.expected, e.found);
 }
 
@@ -107,26 +108,36 @@ fn su_reorders_what_the_baseline_forbids() {
 
 #[test]
 fn recovery_rolls_back_partial_transactions() {
-    // Crash immediately before the last commit's persist: the final
-    // transaction must be rolled back to its pre-state.
+    // Crash immediately before the last commit becomes durable: the
+    // final transaction must be rolled back to its pre-state. Commit
+    // markers land twin line first, so the commit point — the instant
+    // the marker survives a crash — is the *twin's* persist, not the
+    // primary's.
     let sim = SimConfig::a72();
     let r = run_workload(&Update, &params(), ArchConfig::Baseline, &sim).unwrap();
     let checker = CrashChecker::new(&r.output);
-    // Find the last persist of the log header (the commit marker).
-    let header = r.output.layout.log_header;
-    let header_line = header & !63;
-    let last_commit = r
-        .trace
-        .persists
-        .iter()
-        .filter(|p| p.line == header_line)
-        .map(|p| p.cycle)
-        .max()
-        .expect("commits persisted");
+    let last_persist_of = |line: u64| {
+        r.trace
+            .persists
+            .iter()
+            .filter(|p| p.line == line & !63)
+            .map(|p| p.cycle)
+            .max()
+            .expect("commits persisted")
+    };
+    let last_commit = last_persist_of(r.output.layout.log_header_twin);
     let committed_before = checker.check_at(&r.trace, last_commit - 1).unwrap();
     let committed_after = checker.check_at(&r.trace, last_commit).unwrap();
     assert_eq!(committed_after, r.output.records.len() as u64);
     assert!(committed_before < committed_after);
+    // The primary's own persist follows the twin's and changes nothing:
+    // the marker was already recoverable from the twin.
+    let last_primary = last_persist_of(r.output.layout.log_header);
+    assert!(last_primary > last_commit);
+    assert_eq!(
+        checker.check_at(&r.trace, last_primary - 1).unwrap(),
+        committed_after
+    );
 }
 
 #[test]
